@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one of the paper's figure experiments exactly once
+(pedantic mode: these are deterministic simulations, repetition adds
+nothing), prints the paper-style series table, and asserts the paper's
+qualitative claims — who wins, by roughly what factor, where inflection
+points fall.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a figure experiment under pytest-benchmark and print its table."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.format_table())
+        return result
+
+    return _run

@@ -1,0 +1,38 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench import ablations
+
+
+def test_threshold_sweep(run_figure):
+    result = run_figure(ablations.threshold_sweep)
+    # Tighter thresholds mean strictly more propagated work.
+    tuples = result.get("tuples processed").values
+    assert all(b >= a for a, b in zip(tuples, tuples[1:]))
+    assert result.headline["work_ratio_exact_vs_1pct"] > 2.0
+
+
+def test_batching(run_figure):
+    result = run_figure(ablations.batching_ablation)
+    assert result.headline["batching_speedup"] > 1.2
+
+
+def test_caching(run_figure):
+    result = run_figure(ablations.caching_ablation)
+    assert result.headline["call_reduction"] > 50.0
+
+
+def test_preagg(run_figure):
+    result = run_figure(ablations.preagg_ablation)
+    assert result.headline["bytes_saved_ratio"] > 2.0
+    assert result.headline["time_speedup"] > 1.0
+
+
+def test_replication_sweep(run_figure):
+    result = run_figure(ablations.replication_sweep)
+    series = result.get("bytes sent").values
+    assert all(b > a for a, b in zip(series, series[1:]))
+
+
+def test_sort_vs_hash(run_figure):
+    result = run_figure(ablations.sort_vs_hash_ablation)
+    assert result.headline["sort_penalty"] > 1.3

@@ -1,0 +1,15 @@
+"""Figure 2: PageRank convergence behaviour (per-page and overall)."""
+
+from repro.bench import fig02_convergence
+
+
+def test_fig02_convergence(run_figure):
+    result = run_figure(fig02_convergence.run, n_vertices=2000, degree=10.0)
+    # Paper: 20-30 iterations typical for web/social graphs.
+    assert 15 <= result.headline["iterations"] <= 60
+    # Paper Fig 2b: overall non-converged count steadily decreases.
+    assert result.headline["monotone_decrease"] == 1.0
+    # Per-page convergence is staggered, not synchronized: the histogram
+    # has mass at several distinct iterations.
+    histogram = result.get("pages converging at iteration").values
+    assert sum(1 for h in histogram if h > 0) >= 5

@@ -1,0 +1,20 @@
+"""Figure 3 (table): measured immutable / mutable / Δi sets per algorithm."""
+
+from repro.bench import fig03_recursive_data
+
+
+def test_fig03_recursive_data(run_figure):
+    result = run_figure(fig03_recursive_data.run)
+    h = result.headline
+    # Immutable sets are the full input relations.
+    assert h["pagerank_immutable"] == h["sssp_immutable"]
+    assert h["kmeans_immutable"] > 0
+    # Mutable sets are one row per vertex (PR/SSSP reachable set).
+    assert h["pagerank_mutable"] <= h["pagerank_immutable"]
+    # Every algorithm's Δi trajectory ends at zero (convergence).
+    for label in ("PageRank Δi", "Shortest-path Δi (frontier)",
+                  "K-means Δi (moved centroids)",
+                  "Adsorption Δi (label positions)"):
+        series = result.get(label).values
+        assert series[-1] == 0.0, label
+        assert max(series) > 0, label

@@ -1,0 +1,16 @@
+"""Figure 5: K-means scalability, REX delta vs Hadoop LB."""
+
+from repro.bench import fig05_kmeans
+
+
+def test_fig05_kmeans_scalability(run_figure):
+    result = run_figure(fig05_kmeans.run)
+    rex = result.get("REX Δ")
+    hadoop = result.get("Hadoop LB")
+    # Paper: REX delta wins by 1-2 orders of magnitude at every size.
+    for h, r in zip(hadoop.values, rex.values):
+        assert h / r > 5.0
+    assert result.headline["speedup_largest"] > 10.0
+    # Both runtimes grow with data size (no flat lines at the top end).
+    assert rex.values[-1] > rex.values[0]
+    assert hadoop.values[-1] > hadoop.values[0]

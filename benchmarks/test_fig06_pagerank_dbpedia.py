@@ -1,0 +1,20 @@
+"""Figures 6(a)/(b): PageRank on DBPedia-like, five strategies."""
+
+from repro.bench import fig06_pagerank_dbpedia
+
+
+def test_fig06_pagerank_dbpedia(run_figure):
+    result = run_figure(fig06_pagerank_dbpedia.run,
+                        n_vertices=2000, degree=10.0)
+    h = result.headline
+    # Paper: REX Δ ~10x HaLoop, ~4x no-Δ, and wrap ~2x HaLoop.  The shapes
+    # (orderings and same order of magnitude) are the reproduction target.
+    assert h["delta_vs_haloop"] > 4.0
+    assert 2.0 < h["delta_vs_nodelta"] < 20.0
+    assert h["wrap_vs_haloop"] > 1.3
+    assert h["delta_vs_hadoop"] > h["delta_vs_haloop"]  # Hadoop worst
+    # Figure 6(b): REX Δ's per-iteration time decays; no-Δ stays flat.
+    delta_iters = result.get("REX Δ (per-iter)").values
+    nodelta_iters = result.get("REX no Δ (per-iter)").values
+    assert delta_iters[-2] < 0.5 * max(delta_iters)
+    assert nodelta_iters[-2] > 0.8 * max(nodelta_iters[1:])

@@ -1,0 +1,17 @@
+"""Figures 7(a)/(b): shortest path on DBPedia-like, five strategies."""
+
+from repro.bench import fig07_sssp_dbpedia
+
+
+def test_fig07_sssp_dbpedia(run_figure):
+    result = run_figure(fig07_sssp_dbpedia.run, n_vertices=2000, degree=10.0)
+    h = result.headline
+    # Paper: REX Δ ~2x no-Δ and ~an order of magnitude over HaLoop.
+    assert h["delta_vs_nodelta"] > 1.5
+    assert h["delta_vs_haloop"] > 5.0
+    assert h["wrap_vs_haloop"] > 1.3
+    # Paper: ~6 iterations give 99% reachability, but full reachability
+    # needs a long tail that is nearly free for REX Δ.
+    assert h["lb_coverage"] > 0.95
+    assert h["eccentricity"] > 20
+    assert h["delta_tail_seconds"] < 0.5 * h["delta_total_seconds"]

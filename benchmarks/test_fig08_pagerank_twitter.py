@@ -1,0 +1,17 @@
+"""Figures 8(a)/(b): PageRank on the Twitter-like graph."""
+
+from repro.bench import fig08_pagerank_twitter
+
+
+def test_fig08_pagerank_twitter(run_figure):
+    result = run_figure(fig08_pagerank_twitter.run,
+                        n_vertices=2000, degree=15.0)
+    h = result.headline
+    # Paper: REX Δ ~3x HaLoop and ~7x Hadoop.
+    assert h["delta_vs_haloop"] > 2.0
+    assert h["delta_vs_hadoop"] > h["delta_vs_haloop"]
+    # Per-iteration: the LB methods stay flat, REX Δ decays.
+    delta_iters = result.get("REX Δ (per-iter)").values
+    haloop_iters = result.get("HaLoop LB (per-iter)").values
+    assert delta_iters[-2] < 0.6 * max(delta_iters)
+    assert haloop_iters[-1] > 0.7 * max(haloop_iters[1:])

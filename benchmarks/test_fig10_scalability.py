@@ -1,0 +1,17 @@
+"""Figures 10(a)/(b): scalability and speedup vs cluster size."""
+
+from repro.bench import fig10_scalability
+
+
+def test_fig10_scalability(run_figure):
+    result = run_figure(fig10_scalability.run, n_vertices=2000, degree=10.0)
+    h = result.headline
+    # Paper: runtime decreases ~proportionally with machines.
+    times = result.get("REX Δ").values
+    assert all(b < a for a, b in zip(times, times[1:]))
+    assert h["speedup_at_max_nodes"] > 8.0        # near-linear to 28 nodes
+    assert h["parallel_efficiency_at_max"] > 0.3
+    # Paper: single-node REX Δ beats DBMS X; real REX beats even the
+    # idealized linear-speedup DBMS X at every node count.
+    assert h["single_node_rex_vs_dbms"] > 1.0
+    assert h["rex_beats_idealized_dbms"] == 1.0

@@ -1,0 +1,12 @@
+"""Figures 11(a)/(b): average per-node bandwidth (Twitter-like)."""
+
+from repro.bench import fig11_bandwidth
+
+
+def test_fig11_bandwidth(run_figure):
+    result = run_figure(fig11_bandwidth.run, n_vertices=2000, degree=15.0)
+    h = result.headline
+    # Paper: REX Δ moves ~2x less data than Hadoop/HaLoop on PageRank,
+    # and the shortest-path gap is even more pronounced.
+    assert h["pr_bytes_hadoop_over_delta"] > 1.5
+    assert h["sp_bytes_hadoop_over_delta"] > h["pr_bytes_hadoop_over_delta"]

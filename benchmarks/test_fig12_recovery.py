@@ -1,0 +1,19 @@
+"""Figure 12: recovery from node failure (restart vs incremental)."""
+
+from repro.bench import fig12_recovery
+
+
+def test_fig12_recovery(run_figure):
+    result = run_figure(fig12_recovery.run, n_vertices=1200, degree=7.0,
+                        failure_points=(1, 3, 6, 10, 15, 20))
+    h = result.headline
+    restart = result.get("Restart").values
+    incremental = result.get("Incremental").values
+    baseline = h["no_failure_seconds"]
+    # Every failed run costs more than the failure-free run; incremental
+    # always beats restart (the paper's central recovery claim).
+    for r, i in zip(restart, incremental):
+        assert i < r
+        assert i > baseline
+    # Paper: incremental at least halves the recovery overhead.
+    assert h["overhead_ratio"] > 2.0

@@ -1,0 +1,59 @@
+"""Failure recovery demo (Section 4.3 / Figure 12).
+
+Runs the same shortest-path query three times: without failures, with a
+node crash recovered by restarting, and with the same crash recovered
+incrementally from replicated Δ-set checkpoints.  All three produce
+identical answers; the incremental strategy wastes far less work.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import Cluster, ExecOptions, FailureSpec
+from repro.algorithms import make_start_table, run_sssp, sssp_reference
+from repro.datasets import dbpedia_like
+
+
+def build_cluster(edges, nodes=6):
+    cluster = Cluster(nodes)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         edges, partition_key="srcId", replication=3)
+    make_start_table(cluster, 0)
+    return cluster
+
+
+def main() -> None:
+    edges = dbpedia_like(n_vertices=1200, avg_out_degree=6, seed=17)
+    expected = {v: float(d) for v, d in sssp_reference(edges, 0).items()}
+
+    print("== failure-free baseline ==")
+    dists, m = run_sssp(build_cluster(edges))
+    assert {v: d for v, (_, d) in dists.items()} == expected
+    baseline = m.total_seconds()
+    print(f"  {m.num_iterations} strata, {baseline:.3f}s simulated")
+
+    fail_at = 4
+    print(f"\n== node crash after stratum {fail_at}, RESTART recovery ==")
+    opts = ExecOptions(failure=FailureSpec(after_stratum=fail_at),
+                       recovery="restart")
+    dists, m = run_sssp(build_cluster(edges), options=opts)
+    assert {v: d for v, (_, d) in dists.items()} == expected
+    print(f"  correct result; total {m.total_seconds():.3f}s "
+          f"(+{m.total_seconds() - baseline:.3f}s over baseline; "
+          f"{m.recovery_seconds:.3f}s was discarded work + detection)")
+
+    print(f"\n== same crash, INCREMENTAL recovery ==")
+    opts = ExecOptions(failure=FailureSpec(after_stratum=fail_at),
+                       recovery="incremental", checkpoint_replication=3)
+    dists, m = run_sssp(build_cluster(edges), options=opts)
+    assert {v: d for v, (_, d) in dists.items()} == expected
+    print(f"  correct result; total {m.total_seconds():.3f}s "
+          f"(+{m.total_seconds() - baseline:.3f}s over baseline)")
+    print("\nIncremental recovery resumes from the last completed stratum "
+          "using the Δ-set checkpoints replicated during normal execution; "
+          "takeover nodes replay the failed ranges through their local "
+          "pipelines, and the monotone-min refinement guarantees the "
+          "replay is exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Running native Hadoop code inside REX — the wrap mode (Section 4.4).
+
+The same mapper/reducer classes execute (1) on the Hadoop simulator and
+(2) inside REX via MapWrap/ReduceWrap wrapper UDFs and UDAs.  Results are
+identical; REX avoids the per-job startup, the sort-based shuffle, and the
+DFS checkpointing, which is why "the REX platform is often able to execute
+native Hadoop code faster than the Hadoop framework".
+
+Run:  python examples/hadoop_migration.py
+"""
+
+from repro import Cluster
+from repro.datasets import dbpedia_like, lineitem
+from repro.datasets.tpch import LINEITEM_SCHEMA
+from repro.hadoop import (
+    hadoop_pagerank,
+    hadoop_simple_agg,
+    rex_wrap_pagerank,
+    rex_wrap_simple_agg,
+)
+
+
+def main() -> None:
+    rows = lineitem(5000)
+
+    print("== one MapReduce job: SELECT sum(tax), count(*) "
+          "WHERE linenumber > 1 ==")
+    (total, count), hadoop_m = hadoop_simple_agg(Cluster(4), rows)
+    print(f"  Hadoop:   sum={total:10.2f} count={count}  "
+          f"({hadoop_m.total_seconds():8.3f}s simulated)")
+
+    cluster = Cluster(4)
+    cluster.create_table("lineitem", LINEITEM_SCHEMA, rows, None)
+    (total, count), wrap_m = rex_wrap_simple_agg(cluster)
+    print(f"  REX wrap: sum={total:10.2f} count={count}  "
+          f"({wrap_m.total_seconds():8.3f}s simulated)")
+    print(f"  -> same mapper/combiner/reducer classes, "
+          f"{hadoop_m.total_seconds() / wrap_m.total_seconds():.1f}x faster "
+          "in REX (no job startup, no sort, no DFS materialization)")
+
+    print("\n== iterative job: 10 PageRank iterations ==")
+    edges = dbpedia_like(n_vertices=800, avg_out_degree=6, seed=5)
+    hadoop_scores, hadoop_m = hadoop_pagerank(Cluster(4), edges,
+                                              iterations=10)
+    cluster = Cluster(4)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         edges, partition_key="srcId")
+    wrap_scores, wrap_m = rex_wrap_pagerank(cluster, iterations=11)
+    worst = max(abs(wrap_scores[v] - s) for v, s in hadoop_scores.items())
+    print(f"  Hadoop:   {hadoop_m.total_seconds():8.3f}s simulated")
+    print(f"  REX wrap: {wrap_m.total_seconds():8.3f}s simulated")
+    print(f"  max |score difference| = {worst:.2e}")
+    print(f"  -> {hadoop_m.total_seconds() / wrap_m.total_seconds():.1f}x "
+          "faster for the identical computation; for recursive queries the "
+          "text-conversion overhead is paid only once (Section 6.3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""REX: Recursive, Delta-Based Data-Centric Computation — a reproduction.
+
+This package reimplements the system of Mihaylov, Ives & Guha (PVLDB 5(11),
+2012): the RQL query language with programmable deltas, the distributed
+pipelined engine with stratified recursion and incremental recovery, the
+cost-based optimizer, and the comparison substrates (Hadoop/HaLoop
+simulator, recursive-SQL "DBMS X") used in the paper's evaluation.
+
+Quick start::
+
+    from repro import Cluster, RQLSession
+
+    cluster = Cluster(4)
+    cluster.create_table("t", ["k:Integer", "v:Double"],
+                         [(i, float(i)) for i in range(100)], "k")
+    session = RQLSession(cluster)
+    result = session.execute("SELECT sum(v), count(*) FROM t WHERE k > 10")
+    print(result.rows)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.cluster import Cluster, CostModel, QueryMetrics
+from repro.common import (
+    Delta,
+    DeltaOp,
+    Schema,
+    SQLType,
+    delete,
+    insert,
+    replace,
+    update,
+)
+from repro.rql import RQLSession
+from repro.runtime import ExecOptions, FailureSpec, QueryExecutor, QueryResult
+from repro.udf import (
+    Aggregator,
+    JoinDeltaHandler,
+    UDFRegistry,
+    WhileDeltaHandler,
+    udf,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "QueryMetrics",
+    "RQLSession",
+    "QueryExecutor",
+    "QueryResult",
+    "ExecOptions",
+    "FailureSpec",
+    "UDFRegistry",
+    "udf",
+    "Aggregator",
+    "JoinDeltaHandler",
+    "WhileDeltaHandler",
+    "Delta",
+    "DeltaOp",
+    "insert",
+    "delete",
+    "replace",
+    "update",
+    "Schema",
+    "SQLType",
+    "__version__",
+]

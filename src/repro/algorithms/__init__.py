@@ -1,0 +1,46 @@
+"""Delta-oriented implementations of the paper's algorithms (Section 3.4,
+Figure 3, Listings 1-3) plus independent reference oracles."""
+
+from repro.algorithms.adsorption import AdsorptionAgg, run_adsorption
+from repro.algorithms.kmeans import CentroidAvg, KMAgg, kmeans_plan, run_kmeans
+from repro.algorithms.pagerank import (
+    PRAgg,
+    PRAggFull,
+    pagerank_plan,
+    run_pagerank,
+)
+from repro.algorithms.reference import (
+    kmeans_reference,
+    pagerank_networkx,
+    pagerank_reference,
+    sssp_reference,
+)
+from repro.algorithms.sssp import (
+    MonotoneMinDist,
+    SPAgg,
+    make_start_table,
+    run_sssp,
+    sssp_plan,
+)
+
+__all__ = [
+    "PRAgg",
+    "PRAggFull",
+    "pagerank_plan",
+    "run_pagerank",
+    "SPAgg",
+    "MonotoneMinDist",
+    "sssp_plan",
+    "run_sssp",
+    "make_start_table",
+    "KMAgg",
+    "CentroidAvg",
+    "kmeans_plan",
+    "run_kmeans",
+    "AdsorptionAgg",
+    "run_adsorption",
+    "pagerank_reference",
+    "pagerank_networkx",
+    "sssp_reference",
+    "kmeans_reference",
+]

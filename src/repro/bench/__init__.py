@@ -1,0 +1,34 @@
+"""Experiment harness reproducing every table and figure of Section 6."""
+
+from repro.bench import (
+    ablations,
+    fig02_convergence,
+    fig03_recursive_data,
+    fig04_simple_agg,
+    fig05_kmeans,
+    fig06_pagerank_dbpedia,
+    fig07_sssp_dbpedia,
+    fig08_pagerank_twitter,
+    fig09_sssp_twitter,
+    fig10_scalability,
+    fig11_bandwidth,
+    fig12_recovery,
+)
+from repro.bench.common import FigureResult, Series, scaled_cost_model
+
+ALL_FIGURES = {
+    "fig02": fig02_convergence.run,
+    "fig03": fig03_recursive_data.run,
+    "fig04": fig04_simple_agg.run,
+    "fig05": fig05_kmeans.run,
+    "fig06": fig06_pagerank_dbpedia.run,
+    "fig07": fig07_sssp_dbpedia.run,
+    "fig08": fig08_pagerank_twitter.run,
+    "fig09": fig09_sssp_twitter.run,
+    "fig10": fig10_scalability.run,
+    "fig11": fig11_bandwidth.run,
+    "fig12": fig12_recovery.run,
+}
+
+__all__ = ["ALL_FIGURES", "FigureResult", "Series", "scaled_cost_model",
+           "ablations"]

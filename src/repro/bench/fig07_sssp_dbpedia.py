@@ -1,0 +1,107 @@
+"""Figures 7(a)/7(b): shortest path on the DBPedia-like graph.
+
+Hadoop LB and HaLoop LB use relation-level Δᵢ (frontier) updates, as the
+paper grants them.  "Although both graphs show execution of only six
+iterations, the diameter of the DBPedia graph is so large it requires 75
+iterations to compute full reachability.  For all methods except REX delta
+we perform only six iterations, enough to provide 99% reachability.  REX
+delta itself performs all ... iterations, with iterations 7 to 75 taking
+under 1s in combined time."  Paper findings: REX Δ ~2x REX no-Δ and ~10x
+HaLoop; REX wrap ~2x faster than HaLoop.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_start_table, run_sssp, sssp_reference
+from repro.bench.common import (
+    DBPEDIA_DEGREE,
+    DBPEDIA_VERTICES,
+    FigureResult,
+    Series,
+    fresh_cluster,
+    scaled_cost_model,
+    speedup,
+)
+from repro.datasets import dbpedia_like
+from repro.hadoop import hadoop_sssp
+from repro.hadoop.rex_wrap import rex_wrap_sssp
+from repro.runtime import ExecOptions
+
+PAPER_DBPEDIA_EDGES = 48_000_000
+LB_ITERATIONS = 6  # "enough to provide 99% reachability"
+
+
+def graph_cluster(edges, nodes, cm):
+    cluster = fresh_cluster(nodes, cm)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         edges, "srcId", replication=2)
+    make_start_table(cluster, 0)
+    return cluster
+
+
+def run(n_vertices: int = DBPEDIA_VERTICES, degree: float = DBPEDIA_DEGREE,
+        nodes: int = 8, seed: int = 7) -> FigureResult:
+    edges = dbpedia_like(n_vertices, avg_out_degree=degree, seed=seed)
+    cm = scaled_cost_model(PAPER_DBPEDIA_EDGES / len(edges))
+    reference = sssp_reference(edges, 0)
+    eccentricity = max(reference.values())
+
+    # REX Δ computes full reachability (all iterations).
+    delta_dists, delta_m = run_sssp(graph_cluster(edges, nodes, cm))
+    assert {v: d for v, (_, d) in delta_dists.items()} == {
+        v: float(d) for v, d in reference.items()}
+
+    # REX no-Δ: re-feeds the whole distance relation, 6 iterations.
+    nodelta_opts = ExecOptions(feedback_mode="full",
+                               max_strata=LB_ITERATIONS + 1)
+    _, nodelta_m = run_sssp(graph_cluster(edges, nodes, cm),
+                            options=nodelta_opts)
+
+    # REX wrap: the Hadoop SSSP classes inside REX, 6 iterations.
+    _, wrap_m = rex_wrap_sssp(graph_cluster(edges, nodes, cm),
+                              LB_ITERATIONS + 1)
+
+    # Hadoop / HaLoop with frontier (relation-level Δ) updates.
+    hadoop_dists, hadoop_m = hadoop_sssp(fresh_cluster(nodes, cm), edges, 0,
+                                         max_iterations=LB_ITERATIONS)
+    _, haloop_m = hadoop_sssp(fresh_cluster(nodes, cm), edges, 0,
+                              max_iterations=LB_ITERATIONS, haloop=True)
+    coverage = len(hadoop_dists) / len(reference)
+
+    metrics = {
+        "Hadoop LB": hadoop_m,
+        "HaLoop LB": haloop_m,
+        "REX wrap": wrap_m,
+        "REX no Δ": nodelta_m,
+        "REX Δ": delta_m,
+    }
+    totals = {k: m.total_seconds() for k, m in metrics.items()}
+    tail = sum(delta_m.per_iteration_seconds()[LB_ITERATIONS + 1:])
+    return FigureResult(
+        figure="Figure 7",
+        title="Shortest path (DBPedia-like): cumulative (a) and "
+              "per-iteration (b) runtime",
+        series=[Series(k, m.cumulative_seconds())
+                for k, m in metrics.items()]
+        + [Series(f"{k} (per-iter)", m.per_iteration_seconds())
+           for k, m in metrics.items()],
+        headline={
+            "delta_vs_haloop": speedup(totals["HaLoop LB"], totals["REX Δ"]),
+            "delta_vs_nodelta": speedup(totals["REX no Δ"], totals["REX Δ"]),
+            "wrap_vs_haloop": speedup(totals["HaLoop LB"], totals["REX wrap"]),
+            "eccentricity": float(eccentricity),
+            "lb_coverage": coverage,
+            "delta_tail_seconds": tail,
+            "delta_total_seconds": totals["REX Δ"],
+        },
+        notes=[f"REX Δ runs all {delta_m.num_iterations} iterations (full "
+               f"reachability, eccentricity {eccentricity}); lower-bound "
+               f"methods run {LB_ITERATIONS} iterations covering "
+               f"{coverage:.0%}",
+               "paper: REX Δ ~2x no-Δ, ~10x HaLoop; tail iterations nearly "
+               "free for REX Δ"],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

@@ -1,0 +1,104 @@
+"""Figures 11(a)/11(b): average per-node bandwidth on the Twitter-like
+workloads.
+
+"For REX delta we measured the total amount of data sent by each node and
+divided by the total number of nodes and the duration of the query.  For
+Hadoop and HaLoop we aggregated the total amount of data shuffled per job,
+dividing by the number of nodes and duration."  Paper findings: REX Δ
+0.97 MB/s vs ~2.00 MB/s for Hadoop/HaLoop on PageRank; the gap is even
+larger for shortest path — making REX Δ "the better choice in
+comparatively bandwidth limited environments such as P2P systems".
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_start_table, run_pagerank, run_sssp
+from repro.bench.common import (
+    TWITTER_DEGREE,
+    TWITTER_VERTICES,
+    FigureResult,
+    Series,
+    fresh_cluster,
+    scaled_cost_model,
+)
+from repro.datasets import twitter_like
+from repro.hadoop import hadoop_pagerank, hadoop_sssp
+
+PAPER_TWITTER_EDGES = 1_400_000_000
+MB = 1_000_000.0
+
+
+def run(n_vertices: int = TWITTER_VERTICES, degree: float = TWITTER_DEGREE,
+        nodes: int = 8, seed: int = 13) -> FigureResult:
+    edges = twitter_like(n_vertices, avg_out_degree=degree, seed=seed)
+    cm = scaled_cost_model(PAPER_TWITTER_EDGES / len(edges))
+
+    def graph_cluster():
+        cluster = fresh_cluster(nodes, cm)
+        cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                             edges, "srcId", replication=2)
+        return cluster
+
+    # PageRank.
+    c = graph_cluster()
+    _, pr_delta = run_pagerank(c, mode="delta", tol=0.01)
+    iterations = max(1, pr_delta.num_iterations - 1)
+    _, pr_hadoop = hadoop_pagerank(fresh_cluster(nodes, cm), edges,
+                                   iterations=iterations)
+    _, pr_haloop = hadoop_pagerank(fresh_cluster(nodes, cm), edges,
+                                   iterations=iterations, haloop=True)
+
+    # Shortest path.
+    c = graph_cluster()
+    make_start_table(c, 0)
+    _, sp_delta = run_sssp(c)
+    _, sp_hadoop = hadoop_sssp(fresh_cluster(nodes, cm), edges, 0,
+                               max_iterations=15)
+    _, sp_haloop = hadoop_sssp(fresh_cluster(nodes, cm), edges, 0,
+                               max_iterations=15, haloop=True)
+
+    pr_bw = {label: m.avg_bandwidth_per_node() / MB for label, m in
+             (("REX Δ", pr_delta), ("HaLoop LB", pr_haloop),
+              ("Hadoop LB", pr_hadoop))}
+    sp_bw = {label: m.avg_bandwidth_per_node() / MB for label, m in
+             (("REX Δ", sp_delta), ("HaLoop LB", sp_haloop),
+              ("Hadoop LB", sp_hadoop))}
+    pr_bytes = {label: m.total_bytes() / MB for label, m in
+                (("REX Δ", pr_delta), ("HaLoop LB", pr_haloop),
+                 ("Hadoop LB", pr_hadoop))}
+    sp_bytes = {label: m.total_bytes() / MB for label, m in
+                (("REX Δ", sp_delta), ("HaLoop LB", sp_haloop),
+                 ("Hadoop LB", sp_hadoop))}
+
+    return FigureResult(
+        figure="Figure 11",
+        title="Avg bandwidth per node (MB/s), Twitter-like workloads "
+              "(a: shortest path, b: PageRank)",
+        series=[
+            Series("shortest-path " + k, [v]) for k, v in sp_bw.items()
+        ] + [
+            Series("pagerank " + k, [v]) for k, v in pr_bw.items()
+        ] + [
+            Series("total MB " + k, [v]) for k, v in pr_bytes.items()
+        ],
+        headline={
+            "pr_rate_hadoop_over_delta":
+                pr_bw["Hadoop LB"] / max(pr_bw["REX Δ"], 1e-12),
+            "sp_rate_hadoop_over_delta":
+                sp_bw["Hadoop LB"] / max(sp_bw["REX Δ"], 1e-12),
+            "pr_bytes_hadoop_over_delta":
+                pr_bytes["Hadoop LB"] / max(pr_bytes["REX Δ"], 1e-12),
+            "sp_bytes_hadoop_over_delta":
+                sp_bytes["Hadoop LB"] / max(sp_bytes["REX Δ"], 1e-12),
+        },
+        notes=["paper (PageRank): REX Δ 0.97 MB/s vs ~2.00 MB/s for "
+               "Hadoop/HaLoop (~2x); shortest path gap even larger",
+               "total-bytes ratios are the robust form of the claim here: "
+               "our cost calibration is CPU-dominated, so REX Δ's much "
+               "shorter duration inflates its per-second rate even though "
+               "it ships far less data (see EXPERIMENTS.md)"],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

@@ -1,0 +1,14 @@
+"""Simulated shared-nothing cluster runtime (Section 4 of the paper)."""
+
+from repro.cluster.cluster import Cluster, Worker
+from repro.cluster.costs import CostModel, ResourceUsage
+from repro.cluster.metrics import IterationMetrics, QueryMetrics
+
+__all__ = [
+    "Cluster",
+    "Worker",
+    "CostModel",
+    "ResourceUsage",
+    "IterationMetrics",
+    "QueryMetrics",
+]

@@ -1,0 +1,170 @@
+"""The simulated shared-nothing cluster: workers, ring, catalog, network.
+
+A :class:`Cluster` is the substrate every platform in this repo runs on —
+REX itself (:mod:`repro.runtime`), the Hadoop/HaLoop simulator
+(:mod:`repro.hadoop`), and recovery experiments.  Workers execute real
+operator logic over real tuples; the cluster charges resource time through
+the shared :class:`~repro.cluster.costs.CostModel` and converts each
+stratum's per-node resource vectors into simulated wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.cluster.costs import CostModel, ResourceUsage
+from repro.common.errors import ExecutionError, ReproError
+from repro.common.schema import Schema
+from repro.net.network import SimulatedNetwork
+from repro.storage.hashing import HashRing
+from repro.storage.tables import Catalog, PartitionedTable
+
+
+class Worker:
+    """One node: resource accounting plus liveness.
+
+    Operators hold a reference to their worker and charge costs through it.
+    ``stratum_usage`` is reset at each stratum boundary so the driver can
+    compute per-iteration wall time as the max over workers.
+    """
+
+    def __init__(self, node_id: int, cost_model: CostModel):
+        self.id = node_id
+        self.cost = cost_model
+        self.alive = True
+        self.stratum_usage = ResourceUsage()
+        self.total_usage = ResourceUsage()
+        self.state_bytes = 0  # operator state held, for spill accounting
+
+    # -- charging -------------------------------------------------------
+    def charge_cpu(self, seconds: float) -> None:
+        seconds /= self.cost.cpu_factor(self.id)
+        self.stratum_usage.cpu += seconds
+
+    def charge_tuples(self, n: int, per_tuple: Optional[float] = None) -> None:
+        cost = self.cost.cpu_tuple_cost if per_tuple is None else per_tuple
+        self.charge_cpu(n * cost)
+
+    def charge_disk_bytes(self, nbytes: int) -> None:
+        self.stratum_usage.disk += nbytes / self.cost.disk_bandwidth
+
+    def charge_disk_seek(self, count: int = 1) -> None:
+        self.stratum_usage.disk += count * self.cost.disk_seek
+
+    def charge_net_out(self, nbytes: int, messages: int = 1) -> None:
+        self.stratum_usage.net_out += (nbytes / self.cost.net_bandwidth
+                                       + messages * self.cost.net_latency)
+
+    def charge_net_in(self, nbytes: int) -> None:
+        self.stratum_usage.net_in += nbytes / self.cost.net_bandwidth
+
+    def add_state_bytes(self, nbytes: int) -> None:
+        """Track operator state growth; beyond the memory budget, the
+        overflow is written out (the engine "spills overflow state to
+        local disks as necessary", Section 4)."""
+        self.state_bytes += nbytes
+        if self.state_bytes > self.cost.worker_memory_bytes:
+            self.charge_disk_bytes(max(0, nbytes))
+
+    def spilled_fraction(self) -> float:
+        """Fraction of operator state currently resident on disk."""
+        if self.state_bytes <= self.cost.worker_memory_bytes:
+            return 0.0
+        return 1.0 - self.cost.worker_memory_bytes / self.state_bytes
+
+    def charge_state_access(self, nbytes: int = 64) -> None:
+        """Probe/lookup against operator state: free in memory, disk time
+        proportional to the spilled fraction otherwise ("repeatedly scan
+        or probe against disk-based storage", Section 4)."""
+        fraction = self.spilled_fraction()
+        if fraction > 0.0:
+            self.stratum_usage.disk += fraction * (
+                nbytes / self.cost.disk_bandwidth
+                + self.cost.disk_seek / 256.0)
+
+    def end_stratum(self) -> ResourceUsage:
+        """Roll the stratum usage into totals and return it."""
+        usage = self.stratum_usage
+        self.total_usage.add(usage)
+        self.stratum_usage = ResourceUsage()
+        return usage
+
+    def __repr__(self):
+        status = "up" if self.alive else "DOWN"
+        return f"Worker({self.id}, {status})"
+
+
+class Cluster:
+    """A set of workers joined by a consistent-hash ring and a network."""
+
+    def __init__(self, num_nodes: int, cost_model: Optional[CostModel] = None,
+                 virtual_nodes: int = 64):
+        if num_nodes < 1:
+            raise ReproError("cluster needs at least one node")
+        self.cost = cost_model or CostModel()
+        self.workers: Dict[int, Worker] = {
+            n: Worker(n, self.cost) for n in range(num_nodes)
+        }
+        self.ring = HashRing(list(self.workers), virtual_nodes=virtual_nodes)
+        self.catalog = Catalog()
+        self.network = SimulatedNetwork(on_bytes=self._charge_link)
+
+    # -- topology ---------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.workers)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.workers)
+
+    def alive_workers(self) -> List[Worker]:
+        return [w for _, w in sorted(self.workers.items()) if w.alive]
+
+    def worker(self, node_id: int) -> Worker:
+        return self.workers[node_id]
+
+    def fail_node(self, node_id: int) -> None:
+        """Inject a crash failure: the node stops sending, receiving and
+        being charged; its ranges will be recovered from replicas."""
+        worker = self.workers[node_id]
+        if not worker.alive:
+            raise ExecutionError(f"node {node_id} is already down")
+        worker.alive = False
+        self.network.unregister_node(node_id)
+
+    # -- data ---------------------------------------------------------------
+    def create_table(self, name: str,
+                     schema: Union[Schema, Sequence[str]],
+                     rows: Iterable[Sequence[Any]],
+                     partition_key: Optional[str] = None,
+                     replication: int = 1) -> PartitionedTable:
+        """Create, load, and register a partitioned table."""
+        if not isinstance(schema, Schema):
+            schema = Schema.of(*schema)
+        table = PartitionedTable(name, schema, partition_key,
+                                 replication=replication)
+        table.load(rows, self.ring)
+        return self.catalog.register(table)
+
+    # -- accounting -----------------------------------------------------------
+    def _charge_link(self, src: int, dst: int, nbytes: int) -> None:
+        sender = self.workers.get(src)
+        receiver = self.workers.get(dst)
+        if sender is not None and sender.alive:
+            sender.charge_net_out(nbytes)
+        if receiver is not None and receiver.alive:
+            receiver.charge_net_in(nbytes)
+
+    def end_stratum_wall_time(self) -> float:
+        """Close the current stratum on every live worker and return its
+        simulated wall time: the slowest node's overlap-combined resource
+        vector (execution is barrier-synchronised between strata)."""
+        times = [w.end_stratum().combined_time(self.cost.overlap)
+                 for w in self.workers.values() if w.alive]
+        return max(times, default=0.0)
+
+    def reset_usage(self) -> None:
+        for w in self.workers.values():
+            w.stratum_usage = ResourceUsage()
+            w.total_usage = ResourceUsage()
+            w.state_bytes = 0

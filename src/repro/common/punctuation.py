@@ -1,0 +1,51 @@
+"""Punctuation markers (Tucker & Maier) used by the stratified protocol.
+
+Section 4.2: "The REX engine uses punctuation (special marker tuples) to
+inform query operators that the current stratum is finished."  Unary
+operators forward punctuation directly; n-ary operators (join, rehash
+receivers) wait until all inputs have delivered matching punctuation.
+
+At the end of a stratum every fixpoint operator reports its newly-derived
+tuple count to the query requestor, which decides between END_OF_STRATUM
+(advance) and END_OF_QUERY (terminate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PunctuationKind(enum.Enum):
+    END_OF_STRATUM = "end-of-stratum"
+    END_OF_QUERY = "end-of-query"
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """A stratum-boundary marker.
+
+    Attributes:
+        kind: whether this closes one stratum or the whole query.
+        stratum: the 0-based stratum being closed (stratum 0 is the base
+            case of a recursive query; non-recursive queries have a single
+            stratum 0).
+    """
+
+    kind: PunctuationKind
+    stratum: int
+
+    @classmethod
+    def end_of_stratum(cls, stratum: int) -> "Punctuation":
+        return cls(PunctuationKind.END_OF_STRATUM, stratum)
+
+    @classmethod
+    def end_of_query(cls, stratum: int) -> "Punctuation":
+        return cls(PunctuationKind.END_OF_QUERY, stratum)
+
+    @property
+    def is_final(self) -> bool:
+        return self.kind is PunctuationKind.END_OF_QUERY
+
+    def __repr__(self):
+        return f"Punct({self.kind.value}@{self.stratum})"

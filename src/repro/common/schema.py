@@ -1,0 +1,202 @@
+"""Relational schemas for RQL.
+
+RQL's base data types map cleanly onto host-language scalars (the paper maps
+them onto Java types; we map onto Python).  A :class:`Schema` is an ordered,
+named, typed list of fields.  Schemas support the operations query planning
+needs: projection, concatenation (for joins), renaming (for aliases), and
+field lookup by possibly-qualified name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SchemaError
+
+
+class SQLType(enum.Enum):
+    """RQL scalar types and their Python carriers."""
+
+    INTEGER = "Integer"
+    DOUBLE = "Double"
+    VARCHAR = "Varchar"
+    BOOLEAN = "Boolean"
+    # Collection-valued attributes (Section 2: "support for collection-valued
+    # attributes ... essential to certain kinds of user-defined aggregations").
+    LIST = "List"
+    # Escape hatch for user-defined Java/Python objects flowing through UDFs.
+    ANY = "Any"
+
+    @classmethod
+    def parse(cls, name: str) -> "SQLType":
+        """Parse a type name as written in UDA ``inTypes`` declarations."""
+        normalized = name.strip().lower()
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        aliases = {"int": cls.INTEGER, "float": cls.DOUBLE, "real": cls.DOUBLE,
+                   "string": cls.VARCHAR, "text": cls.VARCHAR, "bool": cls.BOOLEAN}
+        if normalized in aliases:
+            return aliases[normalized]
+        raise SchemaError(f"unknown RQL type: {name!r}")
+
+    def accepts(self, value: Any) -> bool:
+        """Whether a Python value is a legal carrier for this type."""
+        if value is None:
+            return True  # SQL NULL is legal in every type
+        if self is SQLType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is SQLType.DOUBLE:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is SQLType.VARCHAR:
+            return isinstance(value, str)
+        if self is SQLType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is SQLType.LIST:
+            return isinstance(value, (list, tuple))
+        return True  # ANY
+
+    def is_numeric(self) -> bool:
+        return self in (SQLType.INTEGER, SQLType.DOUBLE)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column, optionally qualified by a relation alias."""
+
+    name: str
+    type: SQLType = SQLType.ANY
+    relation: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.relation}.{self.name}" if self.relation else self.name
+
+    def matches(self, name: str) -> bool:
+        """Whether ``name`` (possibly ``rel.col``) refers to this field."""
+        if "." in name:
+            rel, col = name.split(".", 1)
+            return self.name == col and self.relation == rel
+        return self.name == name
+
+    def renamed(self, relation: Optional[str]) -> "Field":
+        return Field(self.name, self.type, relation)
+
+    def __repr__(self):
+        return f"{self.qualified}:{self.type.value}"
+
+
+class Schema:
+    """An ordered sequence of :class:`Field` with lookup helpers."""
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[Field]):
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self._index = {}
+        for i, f in enumerate(self.fields):
+            # Unqualified name: ambiguous entries map to None so lookups fail
+            # loudly rather than silently picking a column.
+            if f.name in self._index and self._index[f.name] != i:
+                self._index[f.name] = None
+            else:
+                self._index.setdefault(f.name, i)
+            self._index[f.qualified] = i
+
+    @classmethod
+    def of(cls, *specs: str) -> "Schema":
+        """Build a schema from ``"name:Type"`` strings (``Type`` optional).
+
+        >>> Schema.of("srcId:Integer", "pr:Double")
+        Schema(srcId:Integer, pr:Double)
+        """
+        fields = []
+        for spec in specs:
+            relation = None
+            if ":" in spec:
+                name, tname = spec.split(":", 1)
+                ftype = SQLType.parse(tname)
+            else:
+                name, ftype = spec, SQLType.ANY
+            if "." in name:
+                relation, name = name.split(".", 1)
+            fields.append(Field(name.strip(), ftype, relation))
+        return cls(fields)
+
+    def __len__(self):
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __getitem__(self, i: int) -> Field:
+        return self.fields[i]
+
+    def __eq__(self, other):
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __hash__(self):
+        return hash(self.fields)
+
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def index_of(self, name: str) -> int:
+        """Index of a column by (possibly qualified) name.
+
+        Raises :class:`SchemaError` if the name is unknown or ambiguous.
+        """
+        idx = self._index.get(name, -1)
+        if idx is None:
+            raise SchemaError(f"ambiguous column reference: {name!r} in {self}")
+        if idx < 0:
+            # Fall back to a scan for qualified/unqualified mismatches.
+            matches = [i for i, f in enumerate(self.fields) if f.matches(name)]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise SchemaError(f"ambiguous column reference: {name!r} in {self}")
+            raise SchemaError(f"unknown column: {name!r} in {self}")
+        return idx
+
+    def has(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+            return True
+        except SchemaError:
+            return False
+
+    def field(self, name: str) -> Field:
+        return self.fields[self.index_of(name)]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto ``names`` (order preserved)."""
+        return Schema(self.fields[self.index_of(n)] for n in names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation (join output) of two rows."""
+        return Schema(self.fields + other.fields)
+
+    def renamed(self, relation: Optional[str]) -> "Schema":
+        """Schema with every field re-qualified to a new relation alias."""
+        return Schema(f.renamed(relation) for f in self.fields)
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Check arity and carrier types of a row; raise on mismatch."""
+        if len(row) != len(self.fields):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self.fields)} ({self})"
+            )
+        for value, field in zip(row, self.fields):
+            if not field.type.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} is not a legal {field.type.value} "
+                    f"for column {field.qualified}"
+                )
+
+    def __repr__(self):
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"Schema({inner})"

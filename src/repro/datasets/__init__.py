@@ -1,0 +1,21 @@
+"""Seeded synthetic dataset generators standing in for the paper's data.
+
+The paper evaluates on DBPedia's article-link graph, a Twitter
+follower crawl, DBPedia geo-coordinates, and TPC-H lineitem.  None of those
+are shippable here, so each generator reproduces the *structural properties
+the experiments depend on* (degree skew, diameter, frontier growth, cluster
+structure, column distributions) at configurable scale — see DESIGN.md's
+substitution table.
+"""
+
+from repro.datasets.graphs import dbpedia_like, twitter_like
+from repro.datasets.points import geo_points, sample_centroids
+from repro.datasets.tpch import lineitem
+
+__all__ = [
+    "dbpedia_like",
+    "twitter_like",
+    "geo_points",
+    "sample_centroids",
+    "lineitem",
+]

@@ -1,0 +1,179 @@
+"""Synthetic directed graphs with the structure the experiments rely on.
+
+``dbpedia_like``
+    A preferential-attachment (power-law in-degree) directed graph like an
+    encyclopedia link graph: moderate average out-degree (~14 for DBPedia:
+    48M edges / 3.3M vertices), every vertex has at least one out-edge and
+    one in-edge (so PageRank is well-defined under Listing 1's recurrence),
+    modest diameter with a long reachability tail (the paper's shortest-path
+    run needs 75 iterations for full reachability while 6 cover 99%).
+
+``twitter_like``
+    Heavier skew (celebrity hubs), denser (~34 edges/vertex for the Twitter
+    crawl: 1.4B / 41M), plus a designated start vertex placed at the end of
+    a short periphery chain so the single-source reachability frontier
+    explodes around hop 7 — the spike Figure 9(b) shows.
+
+Both are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+def _attach_tail(edges: List[Edge], rng, n_vertices: int,
+                 source_pool=None) -> List[Edge]:
+    """Guarantee in-degree >= 1 and out-degree >= 1 for every vertex.
+
+    ``source_pool`` restricts where repair in-edges originate (so repairs
+    cannot create shortcuts out of structurally protected regions such as
+    the twitter generator's periphery chain).
+    """
+    has_out = np.zeros(n_vertices, dtype=bool)
+    has_in = np.zeros(n_vertices, dtype=bool)
+    for s, d in edges:
+        has_out[s] = True
+        has_in[d] = True
+    extra: List[Edge] = []
+    for v in np.nonzero(~has_out)[0]:
+        target = int(rng.integers(0, n_vertices - 1))
+        if target >= v:
+            target += 1
+        extra.append((int(v), target))
+        has_in[target] = True
+    for v in np.nonzero(~has_in)[0]:
+        if source_pool is not None:
+            source = int(rng.choice(source_pool))
+            if source == v:
+                continue
+        else:
+            source = int(rng.integers(0, n_vertices - 1))
+            if source >= v:
+                source += 1
+        extra.append((source, int(v)))
+    return edges + extra
+
+
+def dbpedia_like(n_vertices: int = 3000, avg_out_degree: float = 14.0,
+                 seed: int = 7, communities: Optional[int] = None,
+                 tail_length: Optional[int] = None) -> List[Edge]:
+    """A power-law directed graph shaped like the DBPedia link graph.
+
+    Two structural properties of real link graphs matter to the paper's
+    experiments and are engineered in deliberately:
+
+    * **Slow mixing** — articles cluster into topical communities with few
+      cross-links, arranged in a ring, so PageRank needs tens of
+      iterations to converge (Figure 2 shows ~15+, with per-page
+      convergence staggered).  A uniform random graph would mix in a
+      handful of iterations and leave no Δ-shrink window to measure.
+    * **A long reachability tail** — the paper notes 6 SSSP iterations
+      reach 99% of DBPedia but *75* are needed for full reachability.
+      ``tail_length`` chain vertices hang off the main body to recreate
+      that regime.
+    """
+    rng = np.random.default_rng(seed)
+    if communities is None:
+        communities = max(8, n_vertices // 150)
+    if tail_length is None:
+        tail_length = min(69, max(0, n_vertices // 40))
+    body = n_vertices - tail_length
+    n_edges = int(body * avg_out_degree)
+    members: List[np.ndarray] = []
+    community_of = rng.integers(0, communities, size=body)
+    for c in range(communities):
+        mine = np.nonzero(community_of == c)[0]
+        if len(mine) == 0:
+            mine = np.array([c % body])
+        members.append(mine)
+
+    # Zipf popularity within each community (hub articles).
+    sources = rng.integers(0, body, size=n_edges)
+    kind = rng.random(n_edges)
+    edges = set()
+    for s, k in zip(sources, kind):
+        c = community_of[s]
+        if k < 0.80:          # intra-community link
+            pool = members[c]
+        elif k < 0.95:        # link to the next community on the ring
+            pool = members[(c + 1) % communities]
+        else:                 # long-range link
+            pool = None
+        if pool is None:
+            t = int(rng.integers(0, body))
+        else:
+            # Zipf-ish choice: square a uniform to favour low indices.
+            idx = int(len(pool) * rng.random() ** 2.5)
+            t = int(pool[min(idx, len(pool) - 1)])
+        if t != int(s):
+            edges.add((int(s), t))
+
+    # The reachability tail: a chain hanging off the body.
+    if tail_length:
+        anchor = int(members[0][0])
+        chain = [anchor] + list(range(body, n_vertices))
+        for a, b in zip(chain, chain[1:]):
+            edges.add((a, b))
+        edges.add((chain[-1], anchor))  # tail vertices need out-edges too
+    out = sorted(edges)
+    return _attach_tail(out, rng, n_vertices,
+                        source_pool=members[0] if tail_length else None)
+
+
+def twitter_like(n_vertices: int = 3000, avg_out_degree: float = 20.0,
+                 seed: int = 13, start_vertex: int = 0,
+                 chain_hops: int = 6) -> List[Edge]:
+    """A celebrity-skew follower graph with a periphery chain.
+
+    ``start_vertex`` reaches a dense core only after ``chain_hops`` hops, so
+    a BFS/SSSP frontier stays tiny for the first hops and then explodes —
+    reproducing Figure 9(b)'s per-iteration runtime spike at hops 7-8.
+    """
+    rng = np.random.default_rng(seed)
+    n_edges = int(n_vertices * avg_out_degree)
+    core_size = max(8, n_vertices // 100)
+    chain = list(range(start_vertex, start_vertex + chain_hops + 1))
+    core_start = chain[-1] + 1
+    core = list(range(core_start, core_start + core_size))
+
+    edges = set()
+    # The periphery chain into the core.
+    for a, b in zip(chain, chain[1:]):
+        edges.add((a, b))
+    edges.add((chain[-1], core[0]))
+    # Dense core: each core member follows several others.
+    for v in core:
+        for u in rng.choice(core, size=min(6, core_size - 1), replace=False):
+            if int(u) != v:
+                edges.add((v, int(u)))
+    # Celebrity skew for the remaining population: most follows target the
+    # core and a Zipf tail of semi-popular accounts.
+    others = np.array([v for v in range(n_vertices)
+                       if v not in set(chain) | set(core)])
+    zipf = 1.0 / (np.arange(1, n_vertices + 1) ** 1.1)
+    zipf /= zipf.sum()
+    popular = rng.permutation(n_vertices)
+    sources = rng.choice(others, size=n_edges)
+    to_core = rng.random(n_edges) < 0.4
+    targets = np.where(
+        to_core,
+        rng.choice(core, size=n_edges),
+        popular[rng.choice(n_vertices, size=n_edges, p=zipf)],
+    )
+    # The core follows back into the population, so the frontier keeps
+    # expanding beyond the core after the explosion.
+    for v in core:
+        for u in rng.choice(others, size=8, replace=False):
+            edges.add((v, int(u)))
+    for s, t in zip(sources, targets):
+        if int(s) != int(t):
+            edges.add((int(s), int(t)))
+    out = sorted(edges)
+    # Repair in-edges only from the core so the periphery chain remains the
+    # unique short route from the start vertex.
+    return _attach_tail(out, rng, n_vertices, source_pool=np.array(core))

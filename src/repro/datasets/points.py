@@ -1,0 +1,45 @@
+"""Two-dimensional point sets for K-means (geo-coordinate stand-in).
+
+The paper clusters longitude/latitude of 328k DBPedia articles, enlarged up
+to 382M by "simulating up to 1000 additional points around each original
+coordinate".  :func:`geo_points` mirrors that: a Gaussian-mixture base set
+plus optional jittered replication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+Point = Tuple[int, float, float]
+
+
+def geo_points(n: int = 2000, n_clusters: int = 8, seed: int = 21,
+               spread: float = 1.0, replicate: int = 1) -> List[Point]:
+    """``n`` base points from a ``n_clusters``-component Gaussian mixture,
+    each replicated ``replicate`` times with small jitter (the paper's
+    enlargement).  Rows are ``(pointId, x, y)``."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-50, 50, size=(n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n)
+    base = centers[assignment] + rng.normal(0, spread, size=(n, 2))
+    if replicate > 1:
+        jitter = rng.normal(0, spread * 0.1, size=(n * replicate, 2))
+        base = np.repeat(base, replicate, axis=0) + jitter
+    return [(i, float(x), float(y)) for i, (x, y) in enumerate(base)]
+
+
+def sample_centroids(points: List[Point], k: int, seed: int = 33
+                     ) -> List[Tuple[int, float, float]]:
+    """Sample ``k`` initial centroids from the point coordinates.
+
+    Plays the role of the paper's ``KMSampleAgg`` (whose definition the
+    paper omits for brevity): initial centroid coordinates are drawn
+    randomly among the coordinates of the given points.  Rows are
+    ``(centroidId, x, y)``.
+    """
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(points), size=min(k, len(points)), replace=False)
+    return [(cid, points[i][1], points[i][2])
+            for cid, i in enumerate(sorted(int(c) for c in chosen))]

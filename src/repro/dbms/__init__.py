@@ -1,0 +1,5 @@
+"""The commercial-DBMS comparator ("DBMS X", Section 6.4)."""
+
+from repro.dbms.engine import DBMSXEngine
+
+__all__ = ["DBMSXEngine"]

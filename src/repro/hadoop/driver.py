@@ -1,0 +1,108 @@
+"""Generic Hadoop-driver templates for REX (Section 4.4).
+
+"A driver program for a single MapReduce job involving a map and a reduce
+class can be expressed with the following query:
+
+    SELECT ReduceWrap('ReduceClass',
+        MapWrap('MapClass', k, v).{k, v}).{k, v}
+    FROM InputTable GROUP BY MapWrap('MapClass', k, v).k
+
+Chained or branched jobs can be expressed as nested subqueries within a
+compound driver query, each of which follows the same basic structure."
+
+:func:`wrap_job` builds the REX plan equivalent of that template for *any*
+:class:`~repro.hadoop.jobs.MapReduceJob`; :func:`wrap_job_chain` nests
+several.  Unlike the hand-built plans in :mod:`repro.hadoop.rex_wrap`,
+these are fully generic: any mapper/combiner/reducer triple runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import QueryMetrics
+from repro.common.errors import PlanError
+from repro.hadoop.jobs import MapReduceJob
+from repro.hadoop.wrap import MapWrap, ReduceWrapAgg
+from repro.runtime import (
+    ExecOptions,
+    PApply,
+    PGroupBy,
+    PNode,
+    PRehash,
+    PScan,
+    PhysicalPlan,
+    QueryExecutor,
+)
+from repro.udf.aggregates import AggregateSpec
+
+KeyValueExtractor = Callable[[tuple], Tuple[object, object]]
+
+
+def wrap_job(job: MapReduceJob, source: PNode,
+             kv_extractor: Optional[KeyValueExtractor] = None) -> PNode:
+    """Build the single-job driver template over ``source``.
+
+    ``kv_extractor`` maps an input row to the mapper's ``(key, value)``
+    pair; the default treats 2-column rows as (key, value) directly.
+    Output rows are ``(key, reduced_value)``.
+    """
+    if len(job.mappers) != 1:
+        raise PlanError(
+            f"the driver template wraps single-input jobs; {job.name} "
+            f"declares {len(job.mappers)} mappers (use the Hadoop engine "
+            "or a hand-built plan for multi-input joins)")
+    extract = kv_extractor or (lambda row: (row[0], row[1]))
+    key = lambda r: (r[0],)
+    mapped = PApply(
+        udf_factory=lambda: MapWrap(job.mappers[0]),
+        arg_fn=extract,
+        mode="replace",
+        children=(source,),
+    )
+    upstream: PNode = mapped
+    if job.combiner is not None:
+        upstream = PGroupBy(
+            key_fn=key,
+            specs_factory=lambda: [AggregateSpec(
+                ReduceWrapAgg(lambda: job.combiner), arg=lambda r: r[1],
+                output="partial")],
+            reset_emissions_each_stratum=True,
+            children=(mapped,),
+        )
+    return PGroupBy(
+        key_fn=key,
+        specs_factory=lambda: [AggregateSpec(
+            ReduceWrapAgg(lambda: job.reducer), arg=lambda r: r[1],
+            output="value")],
+        reset_emissions_each_stratum=True,
+        children=(PRehash.by(upstream, key),),
+    )
+
+
+def wrap_job_chain(jobs: Sequence[MapReduceJob], source: PNode,
+                   kv_extractor: Optional[KeyValueExtractor] = None
+                   ) -> PNode:
+    """Chained jobs as nested subqueries: job i+1 consumes job i's output.
+
+    Only the first job sees ``kv_extractor``; later stages consume the
+    standard ``(key, value)`` rows the previous stage produced.
+    """
+    if not jobs:
+        raise PlanError("wrap_job_chain requires at least one job")
+    node = wrap_job(jobs[0], source, kv_extractor)
+    for job in jobs[1:]:
+        node = wrap_job(job, node)
+    return node
+
+
+def run_wrapped_jobs(cluster: Cluster, jobs: Sequence[MapReduceJob],
+                     table: str,
+                     kv_extractor: Optional[KeyValueExtractor] = None,
+                     options: Optional[ExecOptions] = None
+                     ) -> Tuple[List[tuple], QueryMetrics]:
+    """Execute a (chain of) wrapped job(s) over a catalog table."""
+    plan = PhysicalPlan(wrap_job_chain(jobs, PScan(table), kv_extractor))
+    result = QueryExecutor(cluster, options).execute(plan)
+    return result.rows, result.metrics

@@ -1,0 +1,266 @@
+"""MapReduce job model and the Hadoop-style algorithm implementations.
+
+The mapper/reducer classes here are executed both by the Hadoop simulator
+(:mod:`repro.hadoop.engine`) and — via the wrapper UDFs/UDAs of
+:mod:`repro.hadoop.wrap` — inside REX itself, mirroring the paper's
+"directly use compiled code for Hadoop" capability (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+Pair = Tuple[Any, Any]
+
+
+class Mapper:
+    """Hadoop-style mapper: ``map(key, value) -> iterable of (k2, v2)``."""
+
+    def map(self, key, value) -> Iterable[Pair]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Reducer:
+    """Hadoop-style reducer: ``reduce(key, values) -> iterable of (k3, v3)``.
+
+    Combiners are Reducers whose output key/value types equal their input
+    types.
+    """
+
+    def reduce(self, key, values: List[Any]) -> Iterable[Pair]:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class MapReduceJob:
+    """One job: per-input mappers, optional combiner, one reducer.
+
+    ``mappers`` maps input-dataset position to the Mapper applied to it
+    (Hadoop's MultipleInputs); a single Mapper may be passed for one input.
+    """
+
+    name: str
+    mappers: List[Mapper]
+    reducer: Reducer
+    combiner: Optional[Reducer] = None
+
+
+# ---------------------------------------------------------------------------
+# Simple aggregation (Figure 4): SELECT sum(tax), count(*) WHERE linenumber>1
+# ---------------------------------------------------------------------------
+
+class LineitemFilterMapper(Mapper):
+    """Filter ``linenumber > 1`` and emit (1, (tax, 1)) partial pairs."""
+
+    def map(self, key, value):
+        linenumber, tax = value
+        if linenumber > 1:
+            yield (1, (tax, 1))
+
+
+class SumCountReducer(Reducer):
+    """Sums (tax, count) partials; usable as its own combiner."""
+
+    def reduce(self, key, values):
+        total = 0.0
+        count = 0
+        for tax, n in values:
+            total += tax
+            count += n
+        yield (key, (total, count))
+
+
+def simple_agg_job() -> MapReduceJob:
+    return MapReduceJob("tpch-agg", [LineitemFilterMapper()],
+                        SumCountReducer(), combiner=SumCountReducer())
+
+
+# ---------------------------------------------------------------------------
+# PageRank: two jobs per iteration over (adjacency, ranks) datasets.
+# ---------------------------------------------------------------------------
+
+class TagMapper(Mapper):
+    """Identity map that tags records for a reduce-side join."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def map(self, key, value):
+        yield (key, (self.tag, value))
+
+
+class PRJoinReducer(Reducer):
+    """Joins adjacency with rank and distributes contributions.
+
+    Adjacency arrives as one tagged value per out-edge; the value list for
+    a key is its out-neighbour set plus (at most) one rank record.
+    """
+
+    def reduce(self, key, values):
+        adj: List[int] = []
+        rank = None
+        for tag, payload in values:
+            if tag == "A":
+                if isinstance(payload, list):
+                    adj.extend(payload)
+                else:
+                    adj.append(payload)
+            else:
+                rank = payload
+        if rank is None or not adj:
+            return
+        share = rank / len(adj)
+        for nbr in adj:
+            yield (nbr, share)
+
+
+class PRSumCombiner(Reducer):
+    def reduce(self, key, values):
+        yield (key, sum(values))
+
+
+class PRApplyReducer(Reducer):
+    """Applies the damping formula to summed contributions."""
+
+    def reduce(self, key, values):
+        yield (key, 0.15 + 0.85 * sum(values))
+
+
+def pagerank_jobs() -> Tuple[MapReduceJob, MapReduceJob]:
+    join = MapReduceJob("pr-join",
+                        [TagMapper("A"), TagMapper("R")], PRJoinReducer())
+    aggregate = MapReduceJob("pr-agg", [TagIdentityMapper()],
+                             PRApplyReducer(), combiner=PRSumCombiner())
+    return join, aggregate
+
+
+class TagIdentityMapper(Mapper):
+    def map(self, key, value):
+        yield (key, value)
+
+
+# ---------------------------------------------------------------------------
+# Shortest path: frontier-join job + min-update job per iteration.
+# ---------------------------------------------------------------------------
+
+class SPJoinReducer(Reducer):
+    """Joins adjacency with frontier distances; offers dist+1 onward."""
+
+    def reduce(self, key, values):
+        adj: List[int] = []
+        dist = None
+        for tag, payload in values:
+            if tag == "A":
+                if isinstance(payload, list):
+                    adj.extend(payload)
+                else:
+                    adj.append(payload)
+            else:
+                dist = payload if dist is None else min(dist, payload)
+        if dist is None:
+            return
+        for nbr in adj:
+            yield (nbr, dist + 1)
+
+
+class SPMinReducer(Reducer):
+    """Merges offers with current distances; tags improvements.
+
+    Emits ``(v, (dist, improved))`` so the driver can extract the next
+    frontier (the relation-level Δᵢ the paper grants Hadoop/HaLoop).
+    """
+
+    def reduce(self, key, values):
+        current = None
+        best_offer = None
+        for tag, payload in values:
+            if tag == "D":
+                current = payload
+            else:
+                best_offer = payload if best_offer is None else min(best_offer, payload)
+        if best_offer is not None and (current is None or best_offer < current):
+            yield (key, (best_offer, True))
+        elif current is not None:
+            yield (key, (current, False))
+
+
+class SPMinCombiner(Reducer):
+    """Pre-aggregates offers (min) before the shuffle."""
+
+    def reduce(self, key, values):
+        best = None
+        for tag, payload in values:
+            if tag == "O":
+                best = payload if best is None else min(best, payload)
+            else:
+                yield (key, (tag, payload))
+        if best is not None:
+            yield (key, ("O", best))
+
+
+class SPOfferMinReducer(Reducer):
+    """Minimum over raw distance offers (used by the REX wrap pipeline,
+    where the fixpoint supplies the old-distance comparison)."""
+
+    def reduce(self, key, values):
+        yield (key, min(values))
+
+
+def sssp_jobs() -> Tuple[MapReduceJob, MapReduceJob]:
+    join = MapReduceJob("sp-join",
+                        [TagMapper("A"), TagMapper("F")], SPJoinReducer())
+    minimize = MapReduceJob("sp-min",
+                            [TagMapper("O"), TagMapper("D")], SPMinReducer(),
+                            combiner=SPMinCombiner())
+    return join, minimize
+
+
+# ---------------------------------------------------------------------------
+# K-means: one job per iteration; centroids ride the distributed cache.
+# ---------------------------------------------------------------------------
+
+class KMeansAssignMapper(Mapper):
+    """Assigns each point to its nearest centroid (from the cache)."""
+
+    def __init__(self, centroids: Dict[int, Tuple[float, float]]):
+        self.centroids = centroids
+
+    def map(self, key, value):
+        x, y = value
+        best_cid, best_d2 = -1, float("inf")
+        for cid in sorted(self.centroids):
+            cx, cy = self.centroids[cid]
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            if d2 < best_d2:
+                best_cid, best_d2 = cid, d2
+        yield (best_cid, (x, y, 1))
+
+
+class KMeansPartialCombiner(Reducer):
+    def reduce(self, key, values):
+        sx = sy = 0.0
+        n = 0
+        for x, y, c in values:
+            sx += x
+            sy += y
+            n += c
+        yield (key, (sx, sy, n))
+
+
+class KMeansCentroidReducer(Reducer):
+    def reduce(self, key, values):
+        sx = sy = 0.0
+        n = 0
+        for x, y, c in values:
+            sx += x
+            sy += y
+            n += c
+        if n > 0:
+            yield (key, (sx / n, sy / n))
+
+
+def kmeans_job(centroids: Dict[int, Tuple[float, float]]) -> MapReduceJob:
+    return MapReduceJob("kmeans", [KMeansAssignMapper(centroids)],
+                        KMeansCentroidReducer(),
+                        combiner=KMeansPartialCombiner())

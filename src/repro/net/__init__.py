@@ -1,0 +1,10 @@
+"""Simulated batched network transport (Section 4.1).
+
+"Communication is achieved via TCP with destinations chosen by partitions:
+there is no abstraction of a distributed filesystem, and query processing
+passes batched messages."
+"""
+
+from repro.net.network import Message, SimulatedNetwork
+
+__all__ = ["Message", "SimulatedNetwork"]

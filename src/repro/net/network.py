@@ -1,0 +1,149 @@
+"""Point-to-point batched message transport between worker nodes.
+
+The network is simulated: delivery is immediate and reliable (failures are
+injected at the *node* level by the cluster, not as message loss), but every
+byte is accounted against the sending and receiving nodes' network resource
+usage so bandwidth figures (paper Figure 11) fall out of real traffic counts.
+
+Messages are addressed to ``(dst_node, exchange_id)`` pairs; an *exchange* is
+one cross-worker edge of a physical plan (a rehash, a collect, a checkpoint
+stream).  The receiving side registers a handler per exchange.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.punctuation import Punctuation
+from repro.common.sizes import row_bytes, value_bytes
+
+PUNCT_BYTES = 16
+
+
+@dataclass
+class Message:
+    """One batched transmission on an exchange.
+
+    Either ``deltas`` (a batch of annotated tuples) or ``punct`` is set.
+    ``sender`` identifies the source node so n-ary receivers can count
+    punctuation from every upstream worker.
+    """
+
+    src: int
+    dst: int
+    exchange: str
+    deltas: Optional[List[Any]] = None
+    punct: Optional[Punctuation] = None
+    meta: Any = None
+
+    def size_bytes(self) -> int:
+        if self.punct is not None:
+            return PUNCT_BYTES
+        total = 0
+        for d in self.deltas or ():
+            total += 1 + row_bytes(d.row)
+            if d.old is not None:
+                total += row_bytes(d.old)
+            if d.payload is not None:
+                total += value_bytes(d.payload)
+        return total + PUNCT_BYTES  # batch framing
+
+
+@dataclass
+class LinkStats:
+    """Traffic accounting for one directed node pair."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+class SimulatedNetwork:
+    """FIFO message fabric with per-node byte accounting.
+
+    Delivery is deferred: :meth:`send` enqueues; the cluster's event loop
+    drains queues via :meth:`pop`.  Local sends (src == dst) are queued the
+    same way, preserving the paper's message-driven execution, but cost
+    nothing on the wire.
+    """
+
+    def __init__(self, on_bytes: Optional[Callable[[int, int, int], None]] = None):
+        """``on_bytes(src, dst, nbytes)`` is invoked for every remote send so
+        the cluster can charge network time to both endpoints."""
+        self._queue: Deque[Message] = deque()
+        self._handlers: Dict[Tuple[int, str], Callable[[Message], None]] = {}
+        self._on_bytes = on_bytes
+        self.links: Dict[Tuple[int, int], LinkStats] = {}
+        self.total_bytes = 0
+        self.bytes_by_node: Dict[int, int] = {}
+        self._dead: set = set()
+
+    def register(self, node: int, exchange: str,
+                 handler: Callable[[Message], None]) -> None:
+        """Route messages for ``(node, exchange)`` to ``handler``."""
+        key = (node, exchange)
+        if key in self._handlers:
+            raise ExecutionError(f"exchange {exchange!r} already registered on node {node}")
+        self._handlers[key] = handler
+
+    def unregister_node(self, node: int) -> None:
+        """Drop all handlers on a failed node; in-flight messages to it are
+        discarded at delivery time."""
+        self._dead.add(node)
+        for key in [k for k in self._handlers if k[0] == node]:
+            del self._handlers[key]
+
+    def revive_node(self, node: int) -> None:
+        self._dead.discard(node)
+
+    def send(self, msg: Message) -> None:
+        if msg.src in self._dead:
+            return  # a dead node cannot transmit
+        if msg.src != msg.dst:
+            nbytes = msg.size_bytes()
+            self.total_bytes += nbytes
+            self.bytes_by_node[msg.src] = self.bytes_by_node.get(msg.src, 0) + nbytes
+            stats = self.links.setdefault((msg.src, msg.dst), LinkStats())
+            stats.messages += 1
+            stats.bytes += nbytes
+            if self._on_bytes is not None:
+                self._on_bytes(msg.src, msg.dst, nbytes)
+        self._queue.append(msg)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def pop(self) -> Optional[Message]:
+        """Dequeue the next deliverable message (dropping mail for the dead)."""
+        while self._queue:
+            msg = self._queue.popleft()
+            if msg.dst in self._dead:
+                continue
+            return msg
+        return None
+
+    def dispatch(self, msg: Message) -> None:
+        """Deliver a popped message to its registered handler."""
+        handler = self._handlers.get((msg.dst, msg.exchange))
+        if handler is None:
+            raise ExecutionError(
+                f"no handler for exchange {msg.exchange!r} on node {msg.dst}"
+            )
+        handler(msg)
+
+    def drain(self) -> int:
+        """Deliver queued messages until quiescent; returns count delivered.
+
+        Handlers may send further messages; those are delivered too.  This is
+        the inner loop of stratified execution: a stratum is complete when
+        the fabric is quiet and all punctuation has settled.
+        """
+        delivered = 0
+        while True:
+            msg = self.pop()
+            if msg is None:
+                return delivered
+            self.dispatch(msg)
+            delivered += 1

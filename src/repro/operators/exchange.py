@@ -1,0 +1,125 @@
+"""Rehash: the cross-worker exchange operator (Sections 3.2 and 4.2).
+
+"Whenever needed, a rehash operator re-partitions data among worker nodes
+based on the partitioning snapshot for the current query."  A rehash edge is
+split into a :class:`RehashSender` on the producing worker (batches deltas
+per destination and ships them) and an :class:`ExchangeReceiver` on each
+consuming worker (feeds the deltas into the consuming operator and counts
+per-sender punctuation).  ``broadcast=True`` ships every delta to all live
+workers (used for small relations such as K-means centroids).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.deltas import Delta, DeltaOp
+from repro.common.errors import ExecutionError
+from repro.common.punctuation import Punctuation
+from repro.net.network import Message
+from repro.operators.base import Operator
+from repro.storage.hashing import normalize_key
+
+
+class RehashSender(Operator):
+    """Routes deltas by partition key to peer workers, in batches.
+
+    A replacement whose routing key changed is split into a deletion routed
+    to the old owner and an insertion routed to the new owner — the two
+    images live in different partitions.
+    """
+
+    def __init__(self, exchange: str,
+                 key_fn: Optional[Callable[[tuple], tuple]] = None,
+                 batch_size: int = 256, broadcast: bool = False,
+                 name: Optional[str] = None):
+        if not broadcast and key_fn is None:
+            raise ExecutionError("rehash requires a key function (or broadcast)")
+        super().__init__(name or f"Rehash({exchange})")
+        self.exchange = exchange
+        self.key_fn = key_fn
+        self.batch_size = batch_size
+        self.broadcast = broadcast
+        self._buffers: Dict[int, List[Delta]] = {}
+
+    def open(self, ctx):
+        super().open(ctx)
+        self.per_tuple_cost = ctx.cost.cpu_tuple_cost + ctx.cost.hash_op_cost
+
+    def _destinations(self, row: tuple) -> List[int]:
+        if self.broadcast:
+            return self.ctx.snapshot.live_nodes()
+        key = normalize_key(self.key_fn(row))
+        return [self.ctx.snapshot.primary(key)]
+
+    def _route(self, delta: Delta) -> None:
+        for dst in self._destinations(delta.row):
+            buf = self._buffers.setdefault(dst, [])
+            buf.append(delta)
+            if len(buf) >= self.batch_size:
+                self._flush(dst)
+
+    def process(self, delta: Delta, port: int) -> None:
+        if (delta.op is DeltaOp.REPLACE and not self.broadcast
+                and self.key_fn(delta.old) != self.key_fn(delta.row)):
+            self._route(Delta(DeltaOp.DELETE, delta.old))
+            self._route(Delta(DeltaOp.INSERT, delta.row))
+        else:
+            self._route(delta)
+
+    def _flush(self, dst: int) -> None:
+        batch = self._buffers.pop(dst, None)
+        if batch:
+            self.ctx.cluster.network.send(Message(
+                src=self.ctx.node_id, dst=dst,
+                exchange=self.exchange, deltas=batch,
+            ))
+
+    def on_punctuation(self, punct: Punctuation, port: int = 0) -> None:
+        """Flush everything, then punctuate every receiver (each receiver
+        counts one punctuation per live sender)."""
+        for dst in list(self._buffers):
+            self._flush(dst)
+        for dst in self.ctx.snapshot.live_nodes():
+            self.ctx.cluster.network.send(Message(
+                src=self.ctx.node_id, dst=dst,
+                exchange=self.exchange, punct=punct,
+            ))
+
+
+class ExchangeReceiver(Operator):
+    """The receiving half of a rehash; registered on the network fabric.
+
+    Expects one punctuation per live sender before closing the stratum and
+    forwarding a single punctuation to its consumer.
+    """
+
+    def __init__(self, exchange: str, expected_senders: int,
+                 name: Optional[str] = None):
+        super().__init__(name or f"Receive({exchange})")
+        self.exchange = exchange
+        self.expected_senders = expected_senders
+        self._punct_count = 0
+
+    def open(self, ctx):
+        super().open(ctx)
+        ctx.cluster.network.register(ctx.node_id, self.exchange,
+                                     self.handle_message)
+
+    def set_expected_senders(self, n: int) -> None:
+        """Adjusted by recovery when the sender population changes."""
+        self.expected_senders = n
+
+    def handle_message(self, msg: Message) -> None:
+        if msg.punct is not None:
+            self._punct_count += 1
+            if self._punct_count >= self.expected_senders:
+                self._punct_count = 0
+                self.forward_punctuation(msg.punct)
+            return
+        for delta in msg.deltas or ():
+            self.ctx.charge_tuple(self.per_tuple_cost)
+            self.emit(delta)
+
+    def process(self, delta: Delta, port: int) -> None:
+        raise ExecutionError("ExchangeReceiver is fed by the network fabric")

@@ -1,0 +1,256 @@
+"""Row expressions: the compiled form of RQL scalar expressions.
+
+The RQL front end and the optimizer both manipulate these trees; binding an
+expression against a :class:`~repro.common.schema.Schema` resolves column
+references to positional indices, after which :meth:`Expr.eval` is a pure
+function of the row.  User functions appear as :class:`FuncCall` nodes whose
+cost/selectivity metadata the optimizer reads for predicate ordering.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.common.errors import PlanError, SchemaError
+from repro.common.schema import Schema, SQLType
+
+
+class Expr:
+    """Base class; subclasses are immutable once bound."""
+
+    def bind(self, schema: Schema) -> "Expr":
+        """Return a copy with column references resolved against ``schema``."""
+        raise NotImplementedError
+
+    def eval(self, row) -> Any:
+        raise NotImplementedError
+
+    def output_type(self, schema: Optional[Schema] = None) -> SQLType:
+        return SQLType.ANY
+
+    def columns(self) -> List[str]:
+        """Unbound column names referenced (for planning)."""
+        return []
+
+
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    def __init__(self, name: str, index: Optional[int] = None):
+        self.name = name
+        self.index = index
+
+    def bind(self, schema: Schema) -> "ColumnRef":
+        return ColumnRef(self.name, schema.index_of(self.name))
+
+    def eval(self, row):
+        if self.index is None:
+            raise PlanError(f"unbound column reference {self.name!r}")
+        return row[self.index]
+
+    def output_type(self, schema=None):
+        if schema is not None and schema.has(self.name):
+            return schema.field(self.name).type
+        return SQLType.ANY
+
+    def columns(self):
+        return [self.name]
+
+    def __repr__(self):
+        return f"col({self.name})"
+
+
+class Literal(Expr):
+    def __init__(self, value: Any):
+        self.value = value
+
+    def bind(self, schema):
+        return self
+
+    def eval(self, row):
+        return self.value
+
+    def output_type(self, schema=None):
+        if isinstance(self.value, bool):
+            return SQLType.BOOLEAN
+        if isinstance(self.value, int):
+            return SQLType.INTEGER
+        if isinstance(self.value, float):
+            return SQLType.DOUBLE
+        if isinstance(self.value, str):
+            return SQLType.VARCHAR
+        return SQLType.ANY
+
+    def __repr__(self):
+        return f"lit({self.value!r})"
+
+
+def _null_safe(fn):
+    """SQL semantics: any NULL operand yields NULL."""
+    def wrapped(a, b):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+    return wrapped
+
+
+_ARITH = {
+    "+": _null_safe(operator.add),
+    "-": _null_safe(operator.sub),
+    "*": _null_safe(operator.mul),
+    "/": _null_safe(lambda a, b: a / b if b != 0 else None),
+    "%": _null_safe(lambda a, b: a % b if b != 0 else None),
+}
+
+_COMPARE = {
+    "=": _null_safe(operator.eq),
+    "<>": _null_safe(operator.ne),
+    "!=": _null_safe(operator.ne),
+    "<": _null_safe(operator.lt),
+    "<=": _null_safe(operator.le),
+    ">": _null_safe(operator.gt),
+    ">=": _null_safe(operator.ge),
+}
+
+
+class BinaryOp(Expr):
+    """Arithmetic or comparison over two sub-expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        table = _ARITH if op in _ARITH else _COMPARE
+        if op not in table:
+            raise PlanError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._fn = table[op]
+
+    def bind(self, schema):
+        return BinaryOp(self.op, self.left.bind(schema), self.right.bind(schema))
+
+    def eval(self, row):
+        return self._fn(self.left.eval(row), self.right.eval(row))
+
+    def output_type(self, schema=None):
+        if self.op in _COMPARE:
+            return SQLType.BOOLEAN
+        lt = self.left.output_type(schema)
+        rt = self.right.output_type(schema)
+        if lt is SQLType.DOUBLE or rt is SQLType.DOUBLE or self.op == "/":
+            return SQLType.DOUBLE
+        if lt is SQLType.INTEGER and rt is SQLType.INTEGER:
+            return SQLType.INTEGER
+        return SQLType.ANY
+
+    def columns(self):
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolOp(Expr):
+    """AND / OR / NOT with SQL three-valued logic collapsed to
+    None-propagation (sufficient for the supported queries)."""
+
+    def __init__(self, op: str, operands: Sequence[Expr]):
+        if op not in ("and", "or", "not"):
+            raise PlanError(f"unknown boolean operator {op!r}")
+        if op == "not" and len(operands) != 1:
+            raise PlanError("NOT takes exactly one operand")
+        self.op = op
+        self.operands = list(operands)
+
+    def bind(self, schema):
+        return BoolOp(self.op, [e.bind(schema) for e in self.operands])
+
+    def eval(self, row):
+        if self.op == "not":
+            v = self.operands[0].eval(row)
+            return None if v is None else not v
+        values = [e.eval(row) for e in self.operands]
+        if self.op == "and":
+            if any(v is False for v in values):
+                return False
+            return None if any(v is None for v in values) else True
+        if any(v is True for v in values):
+            return True
+        return None if any(v is None for v in values) else False
+
+    def output_type(self, schema=None):
+        return SQLType.BOOLEAN
+
+    def columns(self):
+        return [c for e in self.operands for c in e.columns()]
+
+    def __repr__(self):
+        return f"{self.op}({', '.join(map(repr, self.operands))})"
+
+
+class FuncCall(Expr):
+    """A scalar UDF call; ``udf`` is a resolved UDF object."""
+
+    def __init__(self, udf, args: Sequence[Expr]):
+        self.udf = udf
+        self.args = list(args)
+
+    def bind(self, schema):
+        return FuncCall(self.udf, [a.bind(schema) for a in self.args])
+
+    def eval(self, row):
+        return self.udf(*(a.eval(row) for a in self.args))
+
+    def output_type(self, schema=None):
+        if self.udf.output_fields:
+            return self.udf.output_fields[0][1]
+        return SQLType.ANY
+
+    def columns(self):
+        return [c for a in self.args for c in a.columns()]
+
+    def __repr__(self):
+        return f"{self.udf.name}({', '.join(map(repr, self.args))})"
+
+
+class TupleField(Expr):
+    """Positional access into a tuple-valued expression.
+
+    Supports the RQL ``expr.{a, b}`` expansion: e.g. ``ArgMin(...)`` yields a
+    pair, and ``TupleField(agg_col, 0)`` / ``TupleField(agg_col, 1)`` project
+    its components into separate output columns.
+    """
+
+    def __init__(self, base: Expr, index: int):
+        self.base = base
+        self.index = index
+
+    def bind(self, schema):
+        return TupleField(self.base.bind(schema), self.index)
+
+    def eval(self, row):
+        value = self.base.eval(row)
+        if value is None:
+            return None
+        return value[self.index]
+
+    def columns(self):
+        return self.base.columns()
+
+    def __repr__(self):
+        return f"{self.base!r}.[{self.index}]"
+
+
+def make_key_fn(schema: Schema, key_cols: Sequence[str]) -> Callable[[tuple], tuple]:
+    """Compile a key extractor for partitioning/grouping on ``key_cols``."""
+    indices = tuple(schema.index_of(c) for c in key_cols)
+    if len(indices) == 1:
+        i = indices[0]
+        return lambda row: (row[i],)
+    return lambda row: tuple(row[i] for i in indices)
+
+
+def make_row_fn(exprs: Sequence[Expr], schema: Schema) -> Callable[[tuple], tuple]:
+    """Compile a projection: row -> tuple of evaluated expressions."""
+    bound = [e.bind(schema) for e in exprs]
+    return lambda row: tuple(e.eval(row) for e in bound)

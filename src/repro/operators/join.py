@@ -1,0 +1,155 @@
+"""Pipelined symmetric hash join with delta propagation.
+
+"The join operator, in its pipelined form, will accumulate each tuple it
+receives and immediately probe it against any tuples accumulated from the
+opposite relation" (Section 3.2).  Delta rules follow Gupta et al. [12]
+(Section 3.3): insertions/deletions apply to the bucket then probe and
+propagate; replacements become replace outputs when the join key is
+unchanged, otherwise delete+insert pairs; ``δ(E)`` updates require a
+user-defined join delta handler (e.g. the paper's ``PRAgg``), which is
+given both matching buckets and full control over state and output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.deltas import Delta, DeltaOp
+from repro.common.errors import ExecutionError
+from repro.common.sizes import row_bytes
+from repro.operators.base import Operator
+from repro.udf.aggregates import JoinDeltaHandler, as_deltas
+
+LEFT = 0
+RIGHT = 1
+
+
+class HashJoin(Operator):
+    """Equi-join on compiled key extractors; port 0 = left, port 1 = right.
+
+    ``handler`` (a :class:`~repro.udf.aggregates.JoinDeltaHandler`) takes
+    over processing for deltas arriving on ``handler_side`` (both sides if
+    ``handler_side is None``); it receives the left and right buckets for
+    the delta's key and returns the deltas to propagate.
+    """
+
+    per_tuple_cost = None  # set from cost model at open()
+
+    def __init__(self, left_key: Callable[[tuple], tuple],
+                 right_key: Callable[[tuple], tuple],
+                 handler: Optional[JoinDeltaHandler] = None,
+                 handler_side: Optional[int] = RIGHT,
+                 name: Optional[str] = None):
+        super().__init__(name or "HashJoin")
+        self.keys = (left_key, right_key)
+        self.handler = handler
+        self.handler_side = handler_side
+        # key -> (left rows, right rows); plain lists preserve duplicates.
+        self.buckets: Dict[tuple, Tuple[list, list]] = {}
+
+    def open(self, ctx):
+        super().open(ctx)
+        self.per_tuple_cost = ctx.cost.cpu_tuple_cost + ctx.cost.hash_op_cost
+
+    # -- bucket plumbing ----------------------------------------------------
+    def _bucket(self, key: tuple) -> Tuple[list, list]:
+        self.ctx.worker.charge_state_access()
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            bucket = ([], [])
+            self.buckets[key] = bucket
+        return bucket
+
+    def _combine(self, left_row, right_row) -> tuple:
+        return tuple(left_row) + tuple(right_row)
+
+    def _pairs(self, row, side: int, opposite_rows) -> List[tuple]:
+        if side == LEFT:
+            return [self._combine(row, r) for r in opposite_rows]
+        return [self._combine(r, row) for r in opposite_rows]
+
+    # -- delta rules -------------------------------------------------------
+    def process(self, delta: Delta, port: int) -> None:
+        if port not in (LEFT, RIGHT):
+            raise ExecutionError(f"{self.name}: bad port {port}")
+        use_handler = (self.handler is not None
+                       and (self.handler_side is None or port == self.handler_side))
+        if use_handler:
+            self._process_with_handler(delta, port)
+            return
+        if delta.op is DeltaOp.INSERT:
+            self._insert(delta.row, port)
+        elif delta.op is DeltaOp.DELETE:
+            self._delete(delta.row, port)
+        elif delta.op is DeltaOp.REPLACE:
+            self._replace(delta.old, delta.row, port)
+        else:
+            # No handler: propagate the annotation "as if it were another
+            # (hidden) attribute" — probe without touching state.
+            self._passthrough_update(delta, port)
+
+    def _insert(self, row: tuple, side: int) -> None:
+        key = self.keys[side](row)
+        bucket = self._bucket(key)
+        bucket[side].append(row)
+        self.ctx.worker.add_state_bytes(row_bytes(row))
+        for out in self._pairs(row, side, bucket[1 - side]):
+            self.emit(Delta(DeltaOp.INSERT, out))
+
+    def _delete(self, row: tuple, side: int) -> None:
+        key = self.keys[side](row)
+        bucket = self._bucket(key)
+        try:
+            bucket[side].remove(row)
+        except ValueError:
+            raise ExecutionError(
+                f"{self.name}: deletion of absent row {row!r}"
+            ) from None
+        for out in self._pairs(row, side, bucket[1 - side]):
+            self.emit(Delta(DeltaOp.DELETE, out))
+
+    def _replace(self, old: tuple, new: tuple, side: int) -> None:
+        old_key = self.keys[side](old)
+        new_key = self.keys[side](new)
+        if old_key == new_key:
+            bucket = self._bucket(old_key)
+            try:
+                idx = bucket[side].index(old)
+            except ValueError:
+                raise ExecutionError(
+                    f"{self.name}: replacement of absent row {old!r}"
+                ) from None
+            bucket[side][idx] = new
+            for opp in bucket[1 - side]:
+                self.emit(Delta(
+                    DeltaOp.REPLACE,
+                    self._pairs(new, side, [opp])[0],
+                    old=self._pairs(old, side, [opp])[0],
+                ))
+        else:
+            # Key changed: the replacement decomposes into delete+insert
+            # affecting two different buckets.
+            self._delete(old, side)
+            self._insert(new, side)
+
+    def _passthrough_update(self, delta: Delta, side: int) -> None:
+        key = self.keys[side](delta.row)
+        bucket = self._bucket(key)
+        for out in self._pairs(delta.row, side, bucket[1 - side]):
+            self.emit(Delta(DeltaOp.UPDATE, out, payload=delta.payload))
+
+    def _process_with_handler(self, delta: Delta, side: int) -> None:
+        key = self.keys[side](delta.row)
+        left_bucket, right_bucket = self._bucket(key)
+        per_delta_cost = getattr(self.handler, "per_delta_cost", None)
+        if per_delta_cost is not None:
+            self.ctx.charge_cpu(per_delta_cost(self.ctx.cost))
+        else:
+            self.ctx.charge_cpu(self.ctx.cost.udf_cost_per_tuple(batched=True))
+        out = self.handler.update(left_bucket, right_bucket, delta, side)
+        self.emit_all(as_deltas(key, out))
+
+    # -- introspection -----------------------------------------------------
+    def state_size(self) -> int:
+        return sum(len(left) + len(right)
+                   for left, right in self.buckets.values())

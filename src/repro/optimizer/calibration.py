@@ -1,0 +1,115 @@
+"""UDF cost calibration and programmer cost hints (Section 5.1).
+
+"REX uses a set of calibration queries plus runtime monitoring to estimate
+the per-input-tuple cost, running time, and selectivity or productivity of
+a UDF.  Without knowing any semantics of the function, REX assumes that
+the cost is value-independent.  However, certain classes of functions have
+costs dependent on their input values ... we allow programmer-supplied
+cost hints — functions describing the 'big-O' relationship between the
+main input parameters and the resulting costs ... REX combines [the
+shape] with its calibration routines to determine the appropriate
+coefficient for estimating future costs."
+
+:func:`calibrate_udf` runs the function over sample inputs, measures real
+per-call time and selectivity/productivity, and — when a ``cost_hint``
+shape is supplied — fits the coefficient so future costs can be predicted
+for *unseen* argument values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.common.errors import UDFError
+
+
+@dataclass
+class UDFProfile:
+    """Calibrated execution profile for one user-defined function."""
+
+    name: str
+    per_call_seconds: float
+    """Mean measured wall time per invocation over the sample."""
+    selectivity: float
+    """Boolean predicates: pass fraction.  Table-valued: mean output rows
+    per input.  Scalars: 1.0."""
+    hint_coefficient: Optional[float] = None
+    """Fitted ``c`` so that cost(args) ≈ c * cost_hint(*args)."""
+    samples: int = 0
+
+    def cost_for(self, *args) -> float:
+        """Predicted per-call cost for specific argument values."""
+        if self.hint_coefficient is None:
+            return self.per_call_seconds
+        return self.hint_coefficient * self._shape(*args)
+
+    def _shape(self, *args) -> float:
+        raise UDFError("profile has no hint shape bound")  # pragma: no cover
+
+
+class _HintedProfile(UDFProfile):
+    def __init__(self, shape: Callable[..., float], **kwargs):
+        super().__init__(**kwargs)
+        self._shape_fn = shape
+
+    def _shape(self, *args) -> float:
+        return float(self._shape_fn(*args))
+
+
+def calibrate_udf(udf, sample_args: Sequence[tuple],
+                  repeats: int = 3) -> UDFProfile:
+    """Run calibration queries for one UDF over ``sample_args``.
+
+    Measures mean per-call wall time and observed selectivity /
+    productivity.  If the UDF carries a ``cost_hint`` shape taking the
+    same arguments, the coefficient is fitted by least squares over the
+    sample so value-dependent costs extrapolate (e.g. an iteration-count
+    argument).
+    """
+    if not sample_args:
+        raise UDFError(f"calibration of {udf.name} needs sample inputs")
+    durations: List[float] = []
+    outputs: List[Any] = []
+    for args in sample_args:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            result = udf(*args)
+        durations.append((time.perf_counter() - started) / repeats)
+        outputs.append(result)
+
+    mean_cost = sum(durations) / len(durations)
+    selectivity = _observed_selectivity(udf, outputs)
+
+    hint = getattr(udf, "cost_hint", None)
+    if hint is not None and callable(hint):
+        shapes = [max(float(hint(*args)), 1e-12) for args in sample_args]
+        # Least-squares fit of durations = c * shape.
+        num = sum(s * d for s, d in zip(shapes, durations))
+        den = sum(s * s for s in shapes)
+        coefficient = num / den if den > 0 else mean_cost
+        return _HintedProfile(
+            shape=hint, name=udf.name, per_call_seconds=mean_cost,
+            selectivity=selectivity, hint_coefficient=coefficient,
+            samples=len(sample_args))
+    return UDFProfile(name=udf.name, per_call_seconds=mean_cost,
+                      selectivity=selectivity, samples=len(sample_args))
+
+
+def _observed_selectivity(udf, outputs: List[Any]) -> float:
+    if not outputs:
+        return 1.0
+    if getattr(udf, "table_valued", False):
+        counts = [len(list(o or ())) for o in outputs]
+        return sum(counts) / len(counts)
+    if all(isinstance(o, bool) for o in outputs):
+        return sum(1 for o in outputs if o) / len(outputs)
+    return 1.0
+
+
+def apply_profile(udf, profile: UDFProfile) -> None:
+    """Install calibrated numbers on the UDF for the optimizer to read."""
+    udf.selectivity = profile.selectivity
+    udf.calibrated_cost = profile.per_call_seconds
+    udf.profile = profile

@@ -1,0 +1,140 @@
+"""Logical exchange placement: make repartitioning explicit.
+
+The cost model must see rehash operators to price network traffic (and to
+make pre-aggregation pushdown a fair fight), so before costing or lowering
+a plan the optimizer inserts explicit :class:`~repro.optimizer.logical.
+LRehash` nodes wherever an operator's co-location requirement is not met —
+the same rules the physical lowering enforces, expressed over logical
+nodes.  Partitioning properties are tracked positionally so renames don't
+confuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.operators.expressions import ColumnRef
+from repro.optimizer.logical import (
+    LApply,
+    LFeedback,
+    LFilter,
+    LFixpoint,
+    LGroupBy,
+    LJoin,
+    LNode,
+    LProject,
+    LRehash,
+    LScan,
+)
+
+BROADCAST = "broadcast"
+Partitioning = Optional[Tuple[int, ...]]
+
+
+def add_exchanges(node: LNode) -> LNode:
+    """Return an equivalent tree with explicit rehash nodes."""
+    out, _ = _place(node)
+    return out
+
+
+def _require(node: LNode, part: Partitioning,
+             wanted: Tuple[int, ...]) -> Tuple[LNode, Partitioning]:
+    if part == wanted:
+        return node, part
+    if not wanted:
+        # Global aggregate: gather everything onto one worker.
+        return LRehash(node, key=None), ()
+    # Composite keys hash on their first component (sufficient for
+    # co-location of equal keys, at some skew risk).
+    key = node.schema[wanted[0]].name
+    return LRehash(node, key=key), wanted
+
+
+def _place(node: LNode) -> Tuple[LNode, Partitioning]:
+    if isinstance(node, LScan):
+        if node.partition_key is None:
+            return node, None
+        return node, (node.schema.index_of(node.partition_key),)
+
+    if isinstance(node, LFeedback):
+        return node, (node.schema.index_of(node.fixpoint_key),)
+
+    if isinstance(node, LFilter):
+        child, part = _place(node.children[0])
+        return node.with_children([child]), part
+
+    if isinstance(node, LApply):
+        child, part = _place(node.children[0])
+        # 'extend' appends columns, keeping key positions intact.
+        return (node.with_children([child]),
+                part if node.mode == "extend" else None)
+
+    if isinstance(node, LProject):
+        child, part = _place(node.children[0])
+        return node.with_children([child]), _through_project(node, part)
+
+    if isinstance(node, LRehash):
+        child, _ = _place(node.children[0])
+        rehashed = node.with_children([child])
+        if node.broadcast:
+            return rehashed, BROADCAST
+        if node.key is None:
+            return rehashed, ()  # gather
+        return rehashed, (node.schema.index_of(node.key),)
+
+    if isinstance(node, LJoin):
+        left, lpart = _place(node.left)
+        right, rpart = _place(node.right)
+        if node.condition is None:
+            if rpart is not BROADCAST:
+                right = LRehash(right, key=None, broadcast=True)
+            return node.with_children([left, right]), None
+        lcol, rcol = node.condition
+        lpos = (node.left.schema.index_of(lcol),)
+        rpos = (node.right.schema.index_of(rcol),)
+        left, _ = _require(left, lpart, lpos)
+        right, _ = _require(right, rpart, rpos)
+        out = node.with_children([left, right])
+        return out, lpos if node.handler_factory is None else None
+
+    if isinstance(node, LGroupBy):
+        child, part = _place(node.children[0])
+        if node.pre_aggregated:
+            return node.with_children([child]), part
+        if node.keys:
+            wanted = tuple(node.children[0].schema.index_of(k)
+                           for k in node.keys)
+            child, _ = _require(child, part, wanted)
+            out_part: Partitioning = tuple(range(len(node.keys)))
+        else:
+            child, _ = _require(child, part, ())
+            out_part = ()
+        return node.with_children([child]), out_part
+
+    if isinstance(node, LFixpoint):
+        key_pos = node.schema.index_of(node.key)
+        base, bpart = _place(node.children[0])
+        recursive, rpart = _place(node.children[1])
+        base, _ = _require(base, bpart, (key_pos,))
+        recursive, _ = _require(recursive, rpart, (key_pos,))
+        return node.with_children([base, recursive]), (key_pos,)
+
+    children = [_place(c)[0] for c in node.children]
+    return node.with_children(children), None
+
+
+def _through_project(node: LProject, part: Partitioning) -> Partitioning:
+    if part in (None, BROADCAST):
+        return part
+    in_schema = node.children[0].schema
+    out = []
+    for pos in part:
+        hit = None
+        for i, (expr, _) in enumerate(node.items):
+            if isinstance(expr, ColumnRef) and in_schema.index_of(expr.name) == pos:
+                hit = i
+                break
+        if hit is None:
+            return None
+        out.append(hit)
+    return tuple(out)

@@ -1,0 +1,37 @@
+"""Plan explanation: render logical plans as indented trees.
+
+``explain`` over the compiled PageRank query reproduces the structure of
+the paper's Figure 1 (base case feeding a fixpoint whose recursive side
+joins the fixpoint receiver with the graph, aggregates, and loops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.optimizer.cost import CostEstimator
+from repro.optimizer.logical import LNode
+
+
+def explain(node: LNode, estimator: Optional[CostEstimator] = None) -> str:
+    """Multi-line tree rendering, optionally annotated with estimates."""
+    lines: List[str] = []
+    _render(node, lines, prefix="", is_last=True, estimator=estimator)
+    return "\n".join(lines)
+
+
+def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
+            estimator: Optional[CostEstimator]) -> None:
+    connector = "" if not lines else ("└─ " if is_last else "├─ ")
+    annotation = ""
+    if estimator is not None:
+        est = estimator.estimate(node)
+        annotation = f"  [rows≈{est.rows:.0f}]"
+    schema_cols = ", ".join(f.name for f in node.schema)
+    lines.append(f"{prefix}{connector}{node.label()} "
+                 f"({schema_cols}){annotation}")
+    child_prefix = prefix + ("" if not prefix and len(lines) == 1
+                             else ("   " if is_last else "│  "))
+    for i, child in enumerate(node.children):
+        _render(child, lines, child_prefix, i == len(node.children) - 1,
+                estimator)

@@ -1,0 +1,277 @@
+"""Logical query algebra.
+
+The RQL compiler lowers ASTs to this algebra; the optimizer transforms it
+(join order, UDF placement, pre-aggregation) and the physical generator
+lowers the winner to :mod:`repro.runtime.plan` nodes.  Nodes carry their
+output :class:`~repro.common.schema.Schema` and are immutable — transforms
+build new trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError
+from repro.common.schema import Field, Schema, SQLType
+from repro.operators.expressions import Expr
+
+
+class LNode:
+    """Base logical node; subclasses set ``children`` and ``schema``."""
+
+    children: Tuple["LNode", ...] = ()
+    schema: Schema
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def with_children(self, children: Sequence["LNode"]) -> "LNode":
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__[1:]
+
+
+class LScan(LNode):
+    """Scan of a catalog table (schema re-qualified to the FROM binding)."""
+
+    def __init__(self, table: str, schema: Schema,
+                 partition_key: Optional[str], binding: Optional[str] = None):
+        self.table = table
+        self.partition_key = partition_key
+        self.binding = binding or table
+        self.schema = schema.renamed(self.binding)
+        self.children = ()
+
+    def with_children(self, children):
+        assert not children
+        return self
+
+    def label(self):
+        return f"Scan({self.table})"
+
+
+class LFeedback(LNode):
+    """Reference to the recursive (WITH) relation inside the recursive
+    branch — physically the fixpoint receiver."""
+
+    def __init__(self, cte_name: str, schema: Schema, fixpoint_key: str):
+        self.cte_name = cte_name
+        self.fixpoint_key = fixpoint_key
+        self.schema = schema.renamed(cte_name)
+        self.children = ()
+
+    def with_children(self, children):
+        assert not children
+        return self
+
+    def label(self):
+        return f"FixpointReceiver({self.cte_name})"
+
+
+class LFilter(LNode):
+    def __init__(self, child: LNode, predicate: Expr,
+                 selectivity: Optional[float] = None,
+                 cost_per_tuple: Optional[float] = None):
+        self.children = (child,)
+        self.predicate = predicate
+        self.schema = child.schema
+        #: Optimizer annotations (predicate migration, Section 5.1).
+        self.selectivity = selectivity
+        self.cost_per_tuple = cost_per_tuple
+
+    def with_children(self, children):
+        (child,) = children
+        return LFilter(child, self.predicate, self.selectivity,
+                       self.cost_per_tuple)
+
+    def label(self):
+        return f"Filter({self.predicate!r})"
+
+
+class LProject(LNode):
+    """Projection: list of (expression, output field)."""
+
+    def __init__(self, child: LNode, items: Sequence[Tuple[Expr, Field]]):
+        self.children = (child,)
+        self.items = list(items)
+        self.schema = Schema([f for _, f in self.items])
+
+    def with_children(self, children):
+        (child,) = children
+        return LProject(child, self.items)
+
+    def label(self):
+        return f"Project({', '.join(f.name for _, f in self.items)})"
+
+
+class LApply(LNode):
+    """applyFunction: extends rows with (possibly table-valued) UDF output."""
+
+    def __init__(self, child: LNode, udf, args: Sequence[Expr],
+                 out_fields: Sequence[Field], mode: str = "extend"):
+        self.children = (child,)
+        self.udf = udf
+        self.args = list(args)
+        self.out_fields = list(out_fields)
+        self.mode = mode
+        if mode == "extend":
+            self.schema = child.schema.concat(Schema(self.out_fields))
+        else:
+            self.schema = Schema(self.out_fields)
+
+    def with_children(self, children):
+        (child,) = children
+        return LApply(child, self.udf, self.args, self.out_fields, self.mode)
+
+    def label(self):
+        return f"ApplyFn({self.udf.name})"
+
+
+class LJoin(LNode):
+    """Equi-join (or handler join).  ``condition`` is (left_col, right_col)
+    or None for a broadcast cross join (K-means' centroid join).
+
+    With ``handler_factory`` set, deltas arriving from the right child are
+    processed by a user join delta handler and the output schema is the
+    handler's declared output (Section 3.3's join-state handler)."""
+
+    def __init__(self, left: LNode, right: LNode,
+                 condition: Optional[Tuple[str, str]],
+                 handler_factory: Optional[Callable[[], Any]] = None,
+                 handler_schema: Optional[Schema] = None):
+        self.children = (left, right)
+        self.condition = condition
+        self.handler_factory = handler_factory
+        if handler_factory is not None:
+            if handler_schema is None:
+                raise PlanError("handler join requires an output schema")
+            self.schema = handler_schema
+        else:
+            self.schema = left.schema.concat(right.schema)
+
+    @property
+    def left(self) -> LNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> LNode:
+        return self.children[1]
+
+    def with_children(self, children):
+        left, right = children
+        return LJoin(left, right, self.condition, self.handler_factory,
+                     self.schema if self.handler_factory else None)
+
+    def swapped(self) -> "LJoin":
+        """Commuted join (only for plain equi-joins)."""
+        if self.handler_factory is not None:
+            raise PlanError("handler joins fix their input roles")
+        cond = (self.condition[1], self.condition[0]) if self.condition else None
+        return LJoin(self.right, self.left, cond)
+
+    def label(self):
+        if self.handler_factory is not None:
+            name = getattr(self.handler_factory(), "name", "handler")
+            return f"Join[{name}]({self.condition})"
+        return f"Join({self.condition})"
+
+
+class LAggCall:
+    """One aggregate column: resolved aggregator + argument expression(s).
+
+    ``out_fields`` may list several fields when the aggregate is
+    tuple-valued and expanded with ``.{a, b}`` (e.g. ArgMin).
+    """
+
+    def __init__(self, name: str, aggregator_factory: Callable[[], Any],
+                 args: Sequence[Expr], out_fields: Sequence[Field],
+                 composable: bool = False):
+        self.name = name
+        self.aggregator_factory = aggregator_factory
+        self.args = list(args)
+        self.out_fields = list(out_fields)
+        self.composable = composable
+
+    def __repr__(self):
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+class LGroupBy(LNode):
+    """Group-by with aggregate calls.  ``pre_aggregated`` marks the partial
+    (combiner) instance the optimizer pushes below a rehash (Section 5.2)."""
+
+    def __init__(self, child: LNode, keys: Sequence[str],
+                 aggs: Sequence[LAggCall], pre_aggregated: bool = False,
+                 clear_each_stratum: bool = False):
+        self.children = (child,)
+        self.keys = list(keys)
+        self.aggs = list(aggs)
+        self.pre_aggregated = pre_aggregated
+        self.clear_each_stratum = clear_each_stratum
+        key_fields = [child.schema.field(k) for k in self.keys]
+        agg_fields = [f for agg in self.aggs for f in agg.out_fields]
+        self.schema = Schema(key_fields + agg_fields)
+
+    def with_children(self, children):
+        (child,) = children
+        return LGroupBy(child, self.keys, self.aggs, self.pre_aggregated,
+                        self.clear_each_stratum)
+
+    def label(self):
+        aggs = ", ".join(repr(a) for a in self.aggs)
+        kind = "PreAgg" if self.pre_aggregated else "GroupBy"
+        return f"{kind}({', '.join(self.keys)}; {aggs})"
+
+
+class LFixpoint(LNode):
+    """Stratified recursion: children = (base, recursive)."""
+
+    def __init__(self, base: LNode, recursive: LNode, key: str,
+                 cte_name: str, union_all: bool = False,
+                 schema: Optional[Schema] = None,
+                 while_handler_factory: Optional[Callable[[], Any]] = None):
+        self.children = (base, recursive)
+        self.key = key
+        self.cte_name = cte_name
+        self.union_all = union_all
+        #: Optional user while-state handler (Section 3.3) governing how
+        #: arriving rows refine the fixpoint relation (e.g. monotone min).
+        self.while_handler_factory = while_handler_factory
+        # The WITH clause's declared column names take precedence over the
+        # base case's output names.
+        self.schema = schema if schema is not None \
+            else base.schema.renamed(cte_name)
+
+    def with_children(self, children):
+        base, recursive = children
+        return LFixpoint(base, recursive, self.key, self.cte_name,
+                         self.union_all, schema=self.schema,
+                         while_handler_factory=self.while_handler_factory)
+
+    def label(self):
+        return f"Fixpoint({self.cte_name} BY {self.key})"
+
+
+class LRehash(LNode):
+    """Explicit repartitioning, inserted by the optimizer."""
+
+    def __init__(self, child: LNode, key: Optional[str],
+                 broadcast: bool = False):
+        self.children = (child,)
+        self.key = key
+        self.broadcast = broadcast
+        self.schema = child.schema
+
+    def with_children(self, children):
+        (child,) = children
+        return LRehash(child, self.key, self.broadcast)
+
+    def label(self):
+        if self.broadcast:
+            return "Rehash(broadcast)"
+        if self.key is None:
+            return "Gather"
+        return f"Rehash({self.key})"

@@ -1,0 +1,7 @@
+"""RQL: the paper's SQL dialect with recursion and programmable deltas."""
+
+from repro.rql.api import RQLSession
+from repro.rql.compiler import compile_query
+from repro.rql.parser import parse
+
+__all__ = ["RQLSession", "parse", "compile_query"]

@@ -1,0 +1,122 @@
+"""Abstract syntax tree for RQL queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+
+# -- scalar expressions -----------------------------------------------------
+
+class AstExpr:
+    """Base class for scalar/boolean expression nodes."""
+
+
+@dataclass(frozen=True)
+class Name(AstExpr):
+    """A (possibly qualified) column or relation reference."""
+
+    parts: Tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class NumberLit(AstExpr):
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class StringLit(AstExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(AstExpr):
+    value: Optional[bool]  # None encodes SQL NULL
+
+
+@dataclass(frozen=True)
+class Binary(AstExpr):
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class Unary(AstExpr):
+    op: str  # '-' or 'NOT'
+    operand: AstExpr
+
+
+@dataclass(frozen=True)
+class Call(AstExpr):
+    """A function/aggregate/handler invocation, e.g. ``sum(x)`` or
+    ``PRAgg(srcId, pr)``.  ``star=True`` encodes ``count(*)``."""
+
+    func: str
+    args: Tuple[AstExpr, ...]
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class FieldExpansion(AstExpr):
+    """The delta/tuple expansion ``call.{a, b}`` of Section 3.5."""
+
+    call: Call
+    fields: Tuple[str, ...]
+
+
+# -- query structure ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: AstExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """FROM-list entry: a named table/CTE or a nested subquery."""
+
+    name: Optional[str] = None
+    subquery: Optional["Select"] = None
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> Optional[str]:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    name: Name
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    from_: Tuple[TableRef, ...]
+    where: Optional[AstExpr] = None
+    group_by: Tuple[Name, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WithRecursive:
+    """``WITH name (cols) AS (base) UNION [ALL] UNTIL FIXPOINT BY key
+    (recursive)`` — the paper's recursion construct."""
+
+    name: str
+    columns: Tuple[str, ...]
+    base: Select
+    recursive: Select
+    fixpoint_key: str
+    union_all: bool
+
+
+Query = Union[Select, WithRecursive]

@@ -1,0 +1,449 @@
+"""Semantic analysis: RQL ASTs to logical plans.
+
+Resolves FROM bindings against the catalog and the enclosing WITH relation,
+resolves calls against the UDF registry (scalar UDF / aggregate / join
+delta handler — the namespaces the paper discovers via reflection), type-
+checks what it can, and emits :mod:`repro.optimizer.logical` trees.
+
+Two paper idioms get dedicated treatment:
+
+* **Handler joins** — ``SELECT H(args).{out...} FROM immutable, recursive
+  WHERE a.k = b.k GROUP BY k`` with ``H`` a registered join delta handler
+  compiles to a handler join (Listing 1's ``PRAgg`` pattern).  Without a
+  WHERE clause the mutable side broadcasts (Listing 3's ``KMAgg``).  Extra
+  select items naming the grouping key are tolerated, as in the listings.
+* **Aggregate expansion** — tuple-valued aggregates projected with
+  ``.{a, b}`` (Listing 2's ``ArgMin(...).{id, dist}``) become a single
+  aggregate column expanded by positional tuple access in the projection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import TypeCheckError
+from repro.common.schema import Field, Schema, SQLType
+from repro.operators.expressions import (
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    TupleField,
+)
+from repro.optimizer.logical import (
+    LAggCall,
+    LApply,
+    LFeedback,
+    LFilter,
+    LFixpoint,
+    LGroupBy,
+    LJoin,
+    LNode,
+    LProject,
+    LScan,
+)
+from repro.rql import ast
+from repro.storage.tables import Catalog
+from repro.udf.builtins import Count
+from repro.udf.registry import UDFRegistry
+
+
+class Compiler:
+    """Stateful compilation of one query."""
+
+    def __init__(self, catalog: Catalog, registry: UDFRegistry):
+        self.catalog = catalog
+        self.registry = registry
+        self._cte: Optional[Tuple[str, Schema, str]] = None  # name, schema, key
+        self._gensym = itertools.count()
+
+    # ------------------------------------------------------------------
+    def compile(self, query: ast.Query) -> LNode:
+        if isinstance(query, ast.WithRecursive):
+            return self._compile_with(query)
+        return self._compile_select(query)
+
+    def _compile_with(self, query: ast.WithRecursive) -> LNode:
+        base = self._compile_select(query.base)
+        if query.columns:
+            if len(query.columns) != len(base.schema):
+                raise TypeCheckError(
+                    f"WITH {query.name} declares {len(query.columns)} columns "
+                    f"but its base case produces {len(base.schema)}"
+                )
+            cte_schema = Schema([
+                Field(col, f.type, query.name)
+                for col, f in zip(query.columns, base.schema)
+            ])
+        else:
+            cte_schema = base.schema.renamed(query.name)
+        if not cte_schema.has(query.fixpoint_key):
+            raise TypeCheckError(
+                f"FIXPOINT BY {query.fixpoint_key} is not a column of "
+                f"{query.name}"
+            )
+        self._cte = (query.name, cte_schema, query.fixpoint_key)
+        recursive = self._compile_select(query.recursive)
+        if len(recursive.schema) != len(cte_schema):
+            raise TypeCheckError(
+                f"recursive case of {query.name} produces "
+                f"{len(recursive.schema)} columns, expected {len(cte_schema)}"
+            )
+        self._cte = None
+        return LFixpoint(base, recursive, key=query.fixpoint_key,
+                         cte_name=query.name, union_all=query.union_all,
+                         schema=cte_schema)
+
+    # ------------------------------------------------------------------
+    def _compile_select(self, sel: ast.Select) -> LNode:
+        if sel.order_by or sel.limit is not None:
+            # Presentation clauses are applied at the requestor over the
+            # collected result; they are stripped from the top-level query
+            # by the session and are meaningless on subqueries.
+            raise TypeCheckError(
+                "ORDER BY / LIMIT are only supported on the top-level "
+                "query")
+        sources = [(ref.binding, self._compile_from(ref))
+                   for ref in sel.from_]
+        handler_item = self._find_handler_item(sel)
+        if handler_item is not None:
+            return self._compile_handler_join(sel, sources, handler_item)
+
+        node = self._join_sources(sources, sel.where)
+        node, items = self._expand_table_functions(node, list(sel.items))
+        if sel.group_by or self._has_aggregates(items):
+            return self._compile_groupby(sel, node, items)
+        compiled = [(self._expr(item.expr, node.schema),
+                     self._out_field(item, node.schema, i))
+                    for i, item in enumerate(items)]
+        return LProject(node, compiled)
+
+    def _compile_from(self, ref: ast.TableRef) -> LNode:
+        if ref.subquery is not None:
+            node = self._compile_select(ref.subquery)
+            if ref.alias:
+                items = [(ColumnRef(f.qualified),
+                          Field(f.name, f.type, ref.alias))
+                         for f in node.schema]
+                node = LProject(node, items)
+            return node
+        name = ref.name
+        if self._cte is not None and name == self._cte[0]:
+            cte_name, schema, key = self._cte
+            return LFeedback(cte_name, schema, key)
+        if self.catalog.has(name):
+            table = self.catalog.get(name)
+            return LScan(name, table.schema, table.partition_key,
+                         binding=ref.binding)
+        raise TypeCheckError(f"unknown relation {name!r}")
+
+    # -- handler joins --------------------------------------------------
+    def _find_handler_item(self, sel: ast.Select
+                           ) -> Optional[ast.FieldExpansion]:
+        found = None
+        for item in sel.items:
+            expr = item.expr
+            if (isinstance(expr, ast.FieldExpansion)
+                    and self.registry.is_join_handler(expr.call.func)):
+                if found is not None:
+                    raise TypeCheckError(
+                        "at most one join delta handler per SELECT")
+                found = expr
+        return found
+
+    def _compile_handler_join(self, sel: ast.Select,
+                              sources: List[Tuple[str, LNode]],
+                              item: ast.FieldExpansion) -> LNode:
+        if len(sources) != 2:
+            raise TypeCheckError(
+                f"join handler {item.call.func} requires exactly two "
+                "relations in FROM")
+        for other in sel.items:
+            if other.expr is item:
+                continue
+            if not isinstance(other.expr, ast.Name):
+                raise TypeCheckError(
+                    "handler-join SELECT may only name the handler call "
+                    "and plain key columns")
+        # The handler processes the mutable side: the recursive relation if
+        # present, otherwise the second FROM entry.
+        mutable_idx = next(
+            (i for i, (_, node) in enumerate(sources)
+             if isinstance(node, LFeedback)),
+            1,
+        )
+        immutable_idx = 1 - mutable_idx
+        left = sources[immutable_idx][1]
+        right = sources[mutable_idx][1]
+
+        condition = None
+        if sel.where is not None:
+            condition = self._join_condition(sel.where, left.schema,
+                                             right.schema)
+        handler_factory = self.registry.join_handler_factory(item.call.func)
+        handler = handler_factory()
+        declared = {name: ftype
+                    for name, ftype in getattr(handler, "output_fields", ())}
+        out_fields = [Field(f, declared.get(f, SQLType.ANY))
+                      for f in item.fields]
+        return LJoin(left, right, condition,
+                     handler_factory=handler_factory,
+                     handler_schema=Schema(out_fields))
+
+    def _join_condition(self, where: ast.AstExpr, left: Schema,
+                        right: Schema) -> Tuple[str, str]:
+        if (not isinstance(where, ast.Binary) or where.op != "="
+                or not isinstance(where.left, ast.Name)
+                or not isinstance(where.right, ast.Name)):
+            raise TypeCheckError(
+                "handler joins support a single equality join condition")
+        a, b = where.left.text, where.right.text
+        if left.has(a) and right.has(b):
+            return (a, b)
+        if left.has(b) and right.has(a):
+            return (b, a)
+        raise TypeCheckError(
+            f"join condition {a} = {b} does not span the two relations")
+
+    # -- generic joins -----------------------------------------------------
+    def _join_sources(self, sources: List[Tuple[str, LNode]],
+                      where: Optional[ast.AstExpr]) -> LNode:
+        conjuncts = self._split_conjuncts(where)
+        node = sources[0][1]
+        for _, right in sources[1:]:
+            condition, conjuncts = self._extract_join_condition(
+                conjuncts, node.schema, right.schema)
+            node = LJoin(node, right, condition)
+        for conjunct in conjuncts:
+            node = LFilter(node, self._expr(conjunct, node.schema))
+        return node
+
+    def _split_conjuncts(self, where: Optional[ast.AstExpr]
+                         ) -> List[ast.AstExpr]:
+        if where is None:
+            return []
+        if isinstance(where, ast.Binary) and where.op == "and":
+            return (self._split_conjuncts(where.left)
+                    + self._split_conjuncts(where.right))
+        return [where]
+
+    def _extract_join_condition(self, conjuncts: List[ast.AstExpr],
+                                left: Schema, right: Schema):
+        for i, c in enumerate(conjuncts):
+            if (isinstance(c, ast.Binary) and c.op == "="
+                    and isinstance(c.left, ast.Name)
+                    and isinstance(c.right, ast.Name)):
+                a, b = c.left.text, c.right.text
+                rest = conjuncts[:i] + conjuncts[i + 1:]
+                if left.has(a) and right.has(b) and not left.has(b):
+                    return (a, b), rest
+                if left.has(b) and right.has(a) and not left.has(a):
+                    return (b, a), rest
+        raise TypeCheckError(
+            "no equality join condition found between the FROM relations")
+
+    # -- table-valued functions (the dependent join, Section 4.2) ---------
+    def _expand_table_functions(self, node: LNode,
+                                items: List[ast.SelectItem]):
+        """Rewrite ``f(args).{a, b}`` select items over table-valued UDFs
+        into applyFunction operators — the paper's dependent join, which
+        "passes an input to a table-valued function and combines the
+        results: this operator even supports calls to multiple table-valued
+        functions in the same operation".  Expanded columns become plain
+        references; everything else is untouched (aggregate and handler
+        expansions are resolved elsewhere).
+        """
+        rewritten: List[ast.SelectItem] = []
+        for item in items:
+            expr = item.expr
+            is_tvf = (isinstance(expr, ast.FieldExpansion)
+                      and self.registry.is_function(expr.call.func)
+                      and getattr(self.registry.function(expr.call.func),
+                                  "table_valued", False))
+            if not is_tvf:
+                rewritten.append(item)
+                continue
+            udf = self.registry.function(expr.call.func)
+            args = [self._expr(a, node.schema) for a in expr.call.args]
+            declared = list(getattr(udf, "output_fields", ()) or ())
+            if declared:
+                # The function always emits its full declared row; the
+                # expansion list selects a subset of it in the projection.
+                unknown = [f for f in expr.fields
+                           if f not in {n for n, _ in declared}]
+                if unknown:
+                    raise TypeCheckError(
+                        f"{expr.call.func} does not declare output "
+                        f"column(s) {unknown}")
+                out_fields = [Field(n, t) for n, t in declared]
+            else:
+                out_fields = [Field(f, SQLType.ANY) for f in expr.fields]
+            node = LApply(node, udf, args, out_fields, mode="extend")
+            rewritten.extend(ast.SelectItem(ast.Name((f,)), alias=None)
+                             for f in expr.fields)
+        return node, rewritten
+
+    # -- aggregation -----------------------------------------------------
+    def _has_aggregates(self, items: List[ast.SelectItem]) -> bool:
+        return any(self._contains_aggregate(item.expr) for item in items)
+
+    def _contains_aggregate(self, expr: ast.AstExpr) -> bool:
+        if isinstance(expr, ast.Call):
+            return self.registry.is_aggregate(expr.func)
+        if isinstance(expr, ast.FieldExpansion):
+            return self.registry.is_aggregate(expr.call.func)
+        if isinstance(expr, ast.Binary):
+            return (self._contains_aggregate(expr.left)
+                    or self._contains_aggregate(expr.right))
+        if isinstance(expr, ast.Unary):
+            return self._contains_aggregate(expr.operand)
+        return False
+
+    def _compile_groupby(self, sel: ast.Select, child: LNode,
+                         items: Optional[List[ast.SelectItem]] = None
+                         ) -> LNode:
+        if items is None:
+            items = list(sel.items)
+        keys = []
+        for name in sel.group_by:
+            if not child.schema.has(name.text):
+                raise TypeCheckError(f"GROUP BY column {name.text!r} unknown")
+            keys.append(name.text)
+        aggs: List[LAggCall] = []
+        # Rewrite select items over the group-by output schema.
+        rewritten: List[Tuple[ast.AstExpr, Optional[str]]] = []
+        projection_exprs: List[Tuple[Expr, Field]] = []
+
+        def lift(expr: ast.AstExpr) -> ast.AstExpr:
+            """Replace aggregate calls with references to synthetic
+            columns, collecting LAggCalls along the way."""
+            if isinstance(expr, ast.Call) and self.registry.is_aggregate(expr.func):
+                col = f"_agg{next(self._gensym)}"
+                aggs.append(self._agg_call(expr, child.schema, col))
+                return ast.Name((col,))
+            if isinstance(expr, ast.Binary):
+                return ast.Binary(expr.op, lift(expr.left), lift(expr.right))
+            if isinstance(expr, ast.Unary):
+                return ast.Unary(expr.op, lift(expr.operand))
+            return expr
+
+        groupby_placeholder_fields: List[Field] = []
+        for i, item in enumerate(items):
+            expr = item.expr
+            if isinstance(expr, ast.FieldExpansion):
+                if not self.registry.is_aggregate(expr.call.func):
+                    raise TypeCheckError(
+                        f"{expr.call.func} is not an aggregate")
+                col = f"_agg{next(self._gensym)}"
+                aggs.append(self._agg_call(expr.call, child.schema, col))
+                for j, fname in enumerate(expr.fields):
+                    projection_exprs.append(
+                        (TupleField(ColumnRef(col), j),
+                         Field(fname, SQLType.ANY)))
+                continue
+            lifted = lift(expr)
+            rewritten.append((lifted, self._item_name(item, i)))
+
+        groupby = LGroupBy(child, keys, aggs)
+        for lifted, name in rewritten:
+            compiled = self._expr(lifted, groupby.schema)
+            ftype = compiled.output_type(groupby.schema)
+            projection_exprs.append((compiled, Field(name, ftype)))
+        # Preserve SELECT-list order: key/scalar items came first unless the
+        # expansion appeared earlier; rebuild in original order.
+        ordered = self._ordered_projection(items, projection_exprs, groupby)
+        return LProject(groupby, ordered)
+
+    def _ordered_projection(self, items: List[ast.SelectItem],
+                            computed: List[Tuple[Expr, Field]],
+                            groupby: LGroupBy) -> List[Tuple[Expr, Field]]:
+        """Reassemble projection items in SELECT-list order.
+
+        ``computed`` holds expansion items first or last depending on
+        discovery order; match them back positionally.
+        """
+        expansion_fields = [f for item in items
+                            if isinstance(item.expr, ast.FieldExpansion)
+                            for f in item.expr.fields]
+        expansions = [(e, f) for e, f in computed
+                      if f.name in expansion_fields]
+        scalars = [(e, f) for e, f in computed
+                   if f.name not in expansion_fields]
+        out: List[Tuple[Expr, Field]] = []
+        si = iter(scalars)
+        ei = iter(expansions)
+        for item in items:
+            if isinstance(item.expr, ast.FieldExpansion):
+                for _ in item.expr.fields:
+                    out.append(next(ei))
+            else:
+                out.append(next(si))
+        return out
+
+    def _agg_call(self, call: ast.Call, schema: Schema, out_col: str
+                  ) -> LAggCall:
+        name = call.func.lower()
+        if name == "count":
+            factory = lambda: Count(count_star=call.star)
+        else:
+            factory = lambda: self.registry.aggregator(name)
+        args = [] if call.star else [self._expr(a, schema) for a in call.args]
+        template = factory()
+        return LAggCall(name, factory, args,
+                        out_fields=[Field(out_col, SQLType.ANY)],
+                        composable=getattr(template, "composable", False))
+
+    # -- expressions ---------------------------------------------------------
+    def _expr(self, expr: ast.AstExpr, schema: Schema) -> Expr:
+        if isinstance(expr, ast.Name):
+            if not schema.has(expr.text):
+                raise TypeCheckError(f"unknown column {expr.text!r}")
+            return ColumnRef(expr.text)
+        if isinstance(expr, ast.NumberLit):
+            return Literal(expr.value)
+        if isinstance(expr, ast.StringLit):
+            return Literal(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Literal(expr.value)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                return BinaryOp("-", Literal(0), self._expr(expr.operand, schema))
+            return BoolOp("not", [self._expr(expr.operand, schema)])
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("and", "or"):
+                return BoolOp(expr.op, [self._expr(expr.left, schema),
+                                        self._expr(expr.right, schema)])
+            return BinaryOp(expr.op, self._expr(expr.left, schema),
+                            self._expr(expr.right, schema))
+        if isinstance(expr, ast.Call):
+            if self.registry.is_aggregate(expr.func):
+                raise TypeCheckError(
+                    f"aggregate {expr.func} not allowed in this context")
+            fn = self.registry.function(expr.func)
+            if fn.input_fields and len(expr.args) != len(fn.input_fields):
+                raise TypeCheckError(
+                    f"{expr.func} expects {len(fn.input_fields)} arguments, "
+                    f"got {len(expr.args)}")
+            return FuncCall(fn, [self._expr(a, schema) for a in expr.args])
+        raise TypeCheckError(f"unsupported expression {expr!r}")
+
+    def _item_name(self, item: ast.SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.Name):
+            return item.expr.parts[-1]
+        return f"_col{index}"
+
+    def _out_field(self, item: ast.SelectItem, schema: Schema,
+                   index: int) -> Field:
+        expr = self._expr(item.expr, schema)
+        return Field(self._item_name(item, index), expr.output_type(schema))
+
+
+def compile_query(query: ast.Query, catalog: Catalog,
+                  registry: UDFRegistry) -> LNode:
+    """Compile a parsed RQL query into a logical plan."""
+    return Compiler(catalog, registry).compile(query)

@@ -1,0 +1,139 @@
+"""Tokenizer for RQL (SQL extended with recursion and delta syntax).
+
+Produces a flat token stream with line/column positions for error
+reporting.  Keywords are case-insensitive; identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+    "WITH", "UNION", "ALL", "UNTIL", "FIXPOINT", "NULL", "TRUE", "FALSE",
+    "ORDER", "LIMIT", "ASC", "DESC",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == sym
+
+    def __repr__(self):
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+_TWO_CHAR_SYMBOLS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_SYMBOLS = "(),.{}*+-/%=<>;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize RQL source; raises :class:`ParseError` on illegal input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(k: int = 1):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, col
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(),
+                                    start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word,
+                                    start_line, start_col))
+            advance(j - i)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # "1.foo" is a qualified reference, not a float.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            literal = text[i:j]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_col))
+            advance(j - i)
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal",
+                                 start_line, start_col)
+            tokens.append(Token(TokenType.STRING, "".join(buf),
+                                start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, two, start_line, start_col))
+            advance(2)
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, start_line, start_col))
+            advance()
+            continue
+        raise ParseError(f"unexpected character {ch!r}", start_line, start_col)
+
+    tokens.append(Token(TokenType.EOF, None, line, col))
+    return tokens

@@ -1,0 +1,305 @@
+"""Recursive-descent parser for RQL."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ParseError
+from repro.rql import ast
+from repro.rql.lexer import Token, TokenType, tokenize
+
+
+class Parser:
+    """One-token-lookahead recursive descent over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.current
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} (got {tok.value!r})", tok.line, tok.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_symbol(self, sym: str) -> Token:
+        if not self.current.is_symbol(sym):
+            raise self._error(f"expected {sym!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if self.current.type is not TokenType.IDENT:
+            raise self._error("expected identifier")
+        return self._advance().value
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, sym: str) -> bool:
+        if self.current.is_symbol(sym):
+            self._advance()
+            return True
+        return False
+
+    # -- entry points ----------------------------------------------------
+    def parse_query(self) -> ast.Query:
+        if self.current.is_keyword("WITH"):
+            query = self._with_recursive()
+        else:
+            query = self._select()
+        self._accept_symbol(";")
+        if self.current.type is not TokenType.EOF:
+            raise self._error("trailing input after query")
+        return query
+
+    # -- WITH ... UNION UNTIL FIXPOINT ------------------------------------
+    def _with_recursive(self) -> ast.WithRecursive:
+        self._expect_keyword("WITH")
+        name = self._expect_ident()
+        # Tolerate the paper's "WITH KM AS (cid, ...)" ordering slip by
+        # accepting the column list either before or after AS.
+        columns: Tuple[str, ...] = ()
+        if self.current.is_symbol("("):
+            columns = self._ident_list_parens()
+        self._expect_keyword("AS")
+        if not columns and self.current.is_symbol("("):
+            checkpoint = self.pos
+            try:
+                columns = self._ident_list_parens()
+            except ParseError:
+                self.pos = checkpoint
+        self._expect_symbol("(")
+        base = self._select()
+        self._expect_symbol(")")
+        self._expect_keyword("UNION")
+        union_all = self._accept_keyword("ALL")
+        self._expect_keyword("UNTIL")
+        self._expect_keyword("FIXPOINT")
+        self._expect_keyword("BY")
+        fixpoint_key = self._expect_ident()
+        self._expect_symbol("(")
+        recursive = self._select()
+        self._expect_symbol(")")
+        return ast.WithRecursive(name=name, columns=columns, base=base,
+                                 recursive=recursive,
+                                 fixpoint_key=fixpoint_key,
+                                 union_all=union_all)
+
+    def _ident_list_parens(self) -> Tuple[str, ...]:
+        self._expect_symbol("(")
+        names = [self._expect_ident()]
+        while self._accept_symbol(","):
+            names.append(self._expect_ident())
+        self._expect_symbol(")")
+        return tuple(names)
+
+    # -- SELECT ------------------------------------------------------------
+    def _select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self._accept_symbol(","):
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        tables = [self._table_ref()]
+        while self._accept_symbol(","):
+            tables.append(self._table_ref())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expr()
+        group_by: List[ast.Name] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._name())
+            while self._accept_symbol(","):
+                group_by.append(self._name())
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            tok = self.current
+            if tok.type is not TokenType.NUMBER or not isinstance(tok.value,
+                                                                  int):
+                raise self._error("LIMIT expects an integer")
+            limit = self._advance().value
+        return ast.Select(items=tuple(items), from_=tuple(tables),
+                          where=where, group_by=tuple(group_by),
+                          order_by=tuple(order_by), limit=limit)
+
+    def _order_item(self) -> ast.OrderItem:
+        name = self._name()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(name=name, descending=descending)
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _table_ref(self) -> ast.TableRef:
+        if self._accept_symbol("("):
+            sub = self._select()
+            self._expect_symbol(")")
+            alias = None
+            if self._accept_keyword("AS"):
+                alias = self._expect_ident()
+            elif self.current.type is TokenType.IDENT:
+                alias = self._advance().value
+            return ast.TableRef(subquery=sub, alias=alias)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    def _name(self) -> ast.Name:
+        parts = [self._expect_ident()]
+        while self._accept_symbol("."):
+            parts.append(self._expect_ident())
+        return ast.Name(tuple(parts))
+
+    # -- expressions (precedence climbing) ----------------------------------
+    def _expr(self) -> ast.AstExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.AstExpr:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = ast.Binary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.AstExpr:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = ast.Binary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.AstExpr:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.AstExpr:
+        left = self._additive()
+        for sym in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+            if self.current.is_symbol(sym):
+                self._advance()
+                return ast.Binary(sym, left, self._additive())
+        return left
+
+    def _additive(self) -> ast.AstExpr:
+        left = self._multiplicative()
+        while True:
+            if self._accept_symbol("+"):
+                left = ast.Binary("+", left, self._multiplicative())
+            elif self._accept_symbol("-"):
+                left = ast.Binary("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.AstExpr:
+        left = self._unary()
+        while True:
+            if self._accept_symbol("*"):
+                left = ast.Binary("*", left, self._unary())
+            elif self._accept_symbol("/"):
+                left = ast.Binary("/", left, self._unary())
+            elif self._accept_symbol("%"):
+                left = ast.Binary("%", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.AstExpr:
+        if self._accept_symbol("-"):
+            return ast.Unary("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.AstExpr:
+        tok = self.current
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            return ast.NumberLit(tok.value)
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLit(tok.value)
+        if tok.is_keyword("NULL"):
+            self._advance()
+            return ast.BoolLit(None)
+        if tok.is_keyword("TRUE"):
+            self._advance()
+            return ast.BoolLit(True)
+        if tok.is_keyword("FALSE"):
+            self._advance()
+            return ast.BoolLit(False)
+        if tok.is_symbol("("):
+            self._advance()
+            inner = self._expr()
+            self._expect_symbol(")")
+            return inner
+        if tok.type is TokenType.IDENT:
+            return self._name_or_call()
+        raise self._error("expected expression")
+
+    def _name_or_call(self) -> ast.AstExpr:
+        name = self._name()
+        if not self.current.is_symbol("("):
+            return name
+        # A call: func(args) possibly followed by .{a, b}
+        self._advance()  # '('
+        args: List[ast.AstExpr] = []
+        star = False
+        if self._accept_symbol("*"):
+            star = True
+        elif not self.current.is_symbol(")"):
+            args.append(self._expr())
+            while self._accept_symbol(","):
+                args.append(self._expr())
+        self._expect_symbol(")")
+        call = ast.Call(func=name.text, args=tuple(args), star=star)
+        if self.current.is_symbol("."):
+            # Only consume the dot if an expansion braces-list follows.
+            if (self.pos + 1 < len(self.tokens)
+                    and self.tokens[self.pos + 1].is_symbol("{")):
+                self._advance()  # '.'
+                self._advance()  # '{'
+                fields = [self._expect_ident()]
+                while self._accept_symbol(","):
+                    fields.append(self._expect_ident())
+                self._expect_symbol("}")
+                return ast.FieldExpansion(call=call, fields=tuple(fields))
+        return call
+
+
+def parse(text: str) -> ast.Query:
+    """Parse RQL source text into an AST."""
+    return Parser(text).parse_query()

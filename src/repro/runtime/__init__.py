@@ -1,0 +1,53 @@
+"""Query runtime: physical plans and the stratified distributed executor."""
+
+from repro.runtime.executor import (
+    ExecOptions,
+    FailureSpec,
+    QueryExecutor,
+    QueryResult,
+)
+from repro.runtime.termination import (
+    after_iterations,
+    any_of,
+    changed_fraction_below,
+    stable_for,
+)
+from repro.runtime.plan import (
+    PApply,
+    PCollect,
+    PFeedback,
+    PFilter,
+    PFixpoint,
+    PGroupBy,
+    PJoin,
+    PNode,
+    PProject,
+    PRehash,
+    PScan,
+    PUnion,
+    PhysicalPlan,
+)
+
+__all__ = [
+    "QueryExecutor",
+    "QueryResult",
+    "ExecOptions",
+    "FailureSpec",
+    "after_iterations",
+    "changed_fraction_below",
+    "stable_for",
+    "any_of",
+    "PhysicalPlan",
+    "PNode",
+    "PScan",
+    "PFeedback",
+    "PFilter",
+    "PProject",
+    "PApply",
+    "PJoin",
+    "PGroupBy",
+    "PRehash",
+    "PUnion",
+    "PFixpoint",
+    "PCollect",
+]

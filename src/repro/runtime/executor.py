@@ -1,0 +1,517 @@
+"""The distributed query driver: stratified execution, termination, recovery.
+
+This module plays the role of the paper's *query requestor node* (Section 4):
+it disseminates the plan (instantiates the operator tree on every worker
+against a partition snapshot), drives strata, counts the fixpoint "votes"
+(admitted-delta counts) to decide between end-of-stratum and end-of-query
+punctuation, replicates each stratum's Δᵢ set for incremental recovery
+(Section 4.3), and unions the result deltas shipped by the workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import IterationMetrics, QueryMetrics
+from repro.common.deltas import Delta, DeltaOp
+from repro.common.errors import ExecutionError, RecoveryError
+from repro.common.punctuation import Punctuation
+from repro.net.network import Message
+from repro.storage.hashing import normalize_key
+from repro.operators import (
+    ApplyFunction,
+    Collect,
+    ExchangeReceiver,
+    ExecContext,
+    FeedbackSource,
+    Filter,
+    Fixpoint,
+    GroupBy,
+    HashJoin,
+    Project,
+    RehashSender,
+    ResultSink,
+    RuntimeHooks,
+    SourceOperator,
+    TableScan,
+    Union,
+)
+from repro.runtime.plan import (
+    PApply,
+    PCollect,
+    PFeedback,
+    PFilter,
+    PFixpoint,
+    PGroupBy,
+    PJoin,
+    PNode,
+    PProject,
+    PRehash,
+    PScan,
+    PUnion,
+    PhysicalPlan,
+)
+
+_attempt_counter = itertools.count()
+
+
+@dataclass
+class FailureSpec:
+    """Inject a crash of ``node`` after stratum ``after_stratum`` completes."""
+
+    after_stratum: int
+    node: Optional[int] = None  # default: the live node holding most state
+
+
+@dataclass
+class ExecOptions:
+    """Execution policy knobs for one query."""
+
+    max_strata: int = 200
+    feedback_mode: str = "delta"
+    """'delta' feeds only the Δᵢ set into the next stratum (REX delta);
+    'full' re-feeds the entire mutable set (REX no-delta)."""
+    termination: Optional[Callable[[int, "QueryExecutor"], bool]] = None
+    """Explicit termination condition, evaluated after each stratum; the
+    implicit condition (no new tuples admitted) always applies too."""
+    checkpointing: bool = True
+    checkpoint_replication: int = 3
+    failure: Optional[object] = None
+    """A :class:`FailureSpec`, or a list of them for repeated failures
+    (Section 4.3: incremental recovery "guarantees forward progress even
+    in the presence of repeated failures")."""
+    recovery: str = "incremental"  # or 'restart'
+
+    def failure_specs(self) -> List[FailureSpec]:
+        if self.failure is None:
+            return []
+        if isinstance(self.failure, FailureSpec):
+            return [self.failure]
+        return list(self.failure)
+    collect_result: bool = True
+
+
+@dataclass
+class QueryResult:
+    rows: List[tuple]
+    metrics: QueryMetrics
+
+
+class _MetricsHooks(RuntimeHooks):
+    def __init__(self):
+        self.current: Optional[IterationMetrics] = None
+
+    def count_tuples(self, n: int = 1) -> None:
+        if self.current is not None:
+            self.current.tuples_processed += n
+
+    def count_admitted(self, n: int) -> None:
+        pass  # admitted counts are read from the fixpoints directly
+
+
+class _WorkerPlan:
+    """The operator tree instantiated on one worker."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.sources: List[SourceOperator] = []
+        self.feedback: Optional[FeedbackSource] = None
+        self.fixpoint: Optional[Fixpoint] = None
+        self.receivers: List[ExchangeReceiver] = []
+        self.checkpoint_entries: Dict[tuple, tuple] = {}
+
+
+class QueryExecutor:
+    """Executes a :class:`PhysicalPlan` on a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster, options: Optional[ExecOptions] = None):
+        self.cluster = cluster
+        self.options = options or ExecOptions()
+        self.snapshot = None
+        self.worker_plans: Dict[int, _WorkerPlan] = {}
+        self.sink: Optional[ResultSink] = None
+        self.metrics = QueryMetrics()
+        self._hooks = _MetricsHooks()
+        self._exchange_names: Dict[int, str] = {}
+        self._attempt = next(_attempt_counter)
+        self._fixpoint_key_fn = None
+        self._plan: Optional[PhysicalPlan] = None
+        # Every fixpoint key ever checkpointed: used to detect, on
+        # recovery, ranges whose replicas have all been lost.
+        self._checkpointed_keys: set = set()
+
+    # ------------------------------------------------------------------
+    # Plan instantiation
+    # ------------------------------------------------------------------
+    def _live_ids(self) -> List[int]:
+        return [w.id for w in self.cluster.alive_workers()]
+
+    def _assign_exchanges(self, plan: PhysicalPlan) -> None:
+        counter = itertools.count()
+        for node in plan.root.walk():
+            if isinstance(node, PRehash):
+                self._exchange_names[id(node)] = (
+                    f"x{next(counter)}.a{self._attempt}"
+                )
+        self._collect_exchange = f"collect.a{self._attempt}"
+        self._ckpt_exchange = f"ckpt.a{self._attempt}"
+
+    def _instantiate(self, plan: PhysicalPlan) -> None:
+        self._plan = plan
+        self.snapshot = self.cluster.ring.snapshot()
+        for dead in (n for n in self.cluster.node_ids()
+                     if not self.cluster.workers[n].alive):
+            self.snapshot.mark_failed(dead)
+        self._assign_exchanges(plan)
+        live = self._live_ids()
+        if plan.fixpoint is not None:
+            self._fixpoint_key_fn = plan.fixpoint.key_fn
+        self.sink = ResultSink(self.cluster.network,
+                               exchange=self._collect_exchange,
+                               expected_workers=len(live))
+        self.metrics.num_nodes = len(live)
+        for node_id in live:
+            worker = self.cluster.worker(node_id)
+            ctx = ExecContext(worker, cluster=self.cluster,
+                              snapshot=self.snapshot, hooks=self._hooks)
+            wp = _WorkerPlan(node_id)
+            self.worker_plans[node_id] = wp
+            self._build(plan.root, None, ctx, wp, len(live))
+            if self.options.checkpointing:
+                self._register_checkpoint_handler(node_id, wp)
+
+    def _build(self, node: PNode, parent, ctx: ExecContext,
+               wp: _WorkerPlan, n_live: int):
+        """Instantiate ``node`` on one worker; wire it under ``parent``."""
+        if isinstance(node, PRehash):
+            # Split into a local receiver feeding the parent and a sender
+            # terminating the child pipeline.
+            receiver = ExchangeReceiver(self._exchange_names[id(node)],
+                                        expected_senders=n_live)
+            parent.add_input(receiver)
+            receiver.open(ctx)
+            wp.receivers.append(receiver)
+            sender = RehashSender(self._exchange_names[id(node)],
+                                  key_fn=node.key_fn, broadcast=node.broadcast)
+            sender.open(ctx)
+            self._build(node.children[0], sender, ctx, wp, n_live)
+            return
+
+        op = self._make_operator(node, ctx, wp)
+        if parent is not None:
+            parent.add_input(op)
+        op.open(ctx)
+        for child in node.children:
+            self._build(child, op, ctx, wp, n_live)
+
+    def _make_operator(self, node: PNode, ctx: ExecContext, wp: _WorkerPlan):
+        if isinstance(node, PCollect):
+            return Collect(exchange=self._collect_exchange)
+        if isinstance(node, PScan):
+            scan = TableScan(self.cluster.catalog.get(node.table))
+            wp.sources.append(scan)
+            return scan
+        if isinstance(node, PFeedback):
+            fs = FeedbackSource()
+            if wp.feedback is not None:
+                raise ExecutionError("multiple feedback leaves on one worker")
+            wp.feedback = fs
+            wp.sources.append(fs)
+            return fs
+        if isinstance(node, PFilter):
+            return Filter(node.predicate, udf_calls=node.udf_calls)
+        if isinstance(node, PProject):
+            return Project(node.row_fn)
+        if isinstance(node, PApply):
+            return ApplyFunction(node.udf_factory(), node.arg_fn,
+                                 mode=node.mode, delta_aware=node.delta_aware)
+        if isinstance(node, PJoin):
+            handler = (node.handler_factory()
+                       if node.handler_factory is not None else None)
+            return HashJoin(node.left_key, node.right_key, handler=handler,
+                            handler_side=node.handler_side)
+        if isinstance(node, PGroupBy):
+            return GroupBy(
+                node.key_fn, node.specs_factory(), mode=node.mode,
+                clear_states_each_stratum=node.clear_states_each_stratum,
+                reset_emissions_each_stratum=node.reset_emissions_each_stratum)
+        if isinstance(node, PUnion):
+            return Union()
+        if isinstance(node, PFixpoint):
+            handler = (node.while_handler_factory()
+                       if node.while_handler_factory is not None else None)
+            fp = Fixpoint(key_fn=node.key_fn, semantics=node.semantics,
+                          while_handler=handler,
+                          admit_unchanged=node.admit_unchanged)
+            wp.fixpoint = fp
+            return fp
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Stratified execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: PhysicalPlan) -> QueryResult:
+        """Run the query to completion; returns rows and metrics."""
+        self.metrics.startup_seconds = self.cluster.cost.rex_query_startup
+        self._instantiate(plan)
+        restart = self._run_strata(plan)
+        if restart is not None:
+            return restart
+        self._final_flush()
+        rows = self.sink.rows() if self.options.collect_result else []
+        self.metrics.result_rows = len(rows)
+        return QueryResult(rows=rows, metrics=self.metrics)
+
+    def _run_strata(self, plan: PhysicalPlan) -> Optional[QueryResult]:
+        opts = self.options
+        stratum = 0
+        while True:
+            it = self.metrics.begin_iteration(stratum)
+            self._hooks.current = it
+            bytes_before = self.cluster.network.total_bytes
+            for wp in self._live_plans():
+                for source in wp.sources:
+                    source.run_stratum(stratum)
+            self.cluster.network.drain()
+
+            admitted = sum(wp.fixpoint.admitted_this_stratum
+                           for wp in self._live_plans() if wp.fixpoint)
+            it.delta_count = admitted
+            it.mutable_size = sum(wp.fixpoint.mutable_size()
+                                  for wp in self._live_plans() if wp.fixpoint)
+
+            pending: Dict[int, List[Delta]] = {}
+            if plan.is_recursive:
+                for wp in self._live_plans():
+                    if wp.fixpoint:
+                        pending[wp.worker_id] = wp.fixpoint.take_pending(
+                            opts.feedback_mode)
+                if opts.checkpointing:
+                    self._replicate_checkpoints(pending)
+                    self.cluster.network.drain()
+
+            it.seconds = (self.cluster.end_stratum_wall_time()
+                          + self.cluster.cost.rex_stratum_overhead)
+            it.bytes_sent = self.cluster.network.total_bytes - bytes_before
+
+            due = [spec for spec in opts.failure_specs()
+                   if spec.after_stratum == stratum]
+            for spec in due:
+                outcome = self._handle_failure(plan, spec, pending)
+                if outcome is not None:
+                    return outcome  # restart path returns fresh results
+
+            if not plan.is_recursive:
+                return None
+            stop = (admitted == 0
+                    or stratum + 1 >= opts.max_strata
+                    or (opts.termination is not None
+                        and opts.termination(stratum, self)))
+            if stop:
+                return None
+            for wp in self._live_plans():
+                if wp.feedback is not None and wp.worker_id in pending:
+                    wp.feedback.deposit(pending[wp.worker_id])
+            stratum += 1
+
+    def _final_flush(self) -> None:
+        """Send end-of-query punctuation through every pipeline; stateful
+        operators flush final results to the collect sink."""
+        final = Punctuation.end_of_query(self.metrics.num_iterations)
+        for wp in self._live_plans():
+            for source in wp.sources:
+                source.parent.on_punctuation(final, source.parent_port)
+        self.cluster.network.drain()
+        if self.metrics.iterations:
+            self.metrics.iterations[-1].seconds += (
+                self.cluster.end_stratum_wall_time())
+        if self.options.collect_result and not self.sink.done:
+            raise ExecutionError("result sink did not receive all final "
+                                 "punctuation")
+
+    def _live_plans(self) -> List[_WorkerPlan]:
+        return [self.worker_plans[n] for n in self._live_ids()
+                if n in self.worker_plans]
+
+    # ------------------------------------------------------------------
+    # Incremental checkpoints (Section 4.3)
+    # ------------------------------------------------------------------
+    def _register_checkpoint_handler(self, node_id: int, wp: _WorkerPlan) -> None:
+        def handle(msg: Message) -> None:
+            for delta in msg.deltas or ():
+                key = (self._fixpoint_key_fn(delta.row)
+                       if self._fixpoint_key_fn else delta.row)
+                if delta.op is DeltaOp.DELETE:
+                    wp.checkpoint_entries.pop(key, None)
+                else:
+                    wp.checkpoint_entries[key] = delta.row
+
+        self.cluster.network.register(node_id, self._ckpt_exchange, handle)
+
+    def _replicate_checkpoints(self, pending: Dict[int, List[Delta]]) -> None:
+        """Replicate each worker's Δᵢ set to its replica machines."""
+        if self._fixpoint_key_fn is None:
+            return
+        rf = self.options.checkpoint_replication
+        if rf < 2:
+            return
+        for worker_id, deltas in pending.items():
+            batches: Dict[int, List[Delta]] = {}
+            for delta in deltas:
+                key = normalize_key(self._fixpoint_key_fn(delta.row))
+                self._checkpointed_keys.add(self._fixpoint_key_fn(delta.row))
+                for replica in self.snapshot.original_replicas(key, rf)[1:]:
+                    if replica != worker_id:
+                        batches.setdefault(replica, []).append(delta)
+            for dst, batch in batches.items():
+                self.cluster.network.send(Message(
+                    src=worker_id, dst=dst,
+                    exchange=self._ckpt_exchange, deltas=batch,
+                ))
+
+    # ------------------------------------------------------------------
+    # Failure handling (Section 4.3, Figure 12)
+    # ------------------------------------------------------------------
+    def _handle_failure(self, plan: PhysicalPlan, spec: FailureSpec,
+                        pending: Dict[int, List[Delta]]) -> Optional[QueryResult]:
+        victim = spec.node
+        if victim is None:
+            live = self._live_plans()
+            victim = max(live, key=lambda wp: (
+                wp.fixpoint.mutable_size() if wp.fixpoint else 0,
+                wp.worker_id)).worker_id
+        self.cluster.fail_node(victim)
+        self.snapshot.mark_failed(victim)
+        pending.pop(victim, None)
+        self.worker_plans.pop(victim, None)
+        n_live = len(self._live_ids())
+        for wp in self._live_plans():
+            for receiver in wp.receivers:
+                receiver.set_expected_senders(n_live)
+        self.sink.set_expected_workers(n_live)
+        self.metrics.recovery_seconds += self.cluster.cost.failure_detection
+
+        if self.options.recovery == "restart":
+            return self._restart(plan)
+        self._recover_incrementally(victim)
+        return None
+
+    def _restart(self, plan: PhysicalPlan) -> QueryResult:
+        """Discard all progress; re-run the query on the surviving nodes."""
+        wasted = self.metrics.total_seconds()
+        fresh_options = ExecOptions(
+            max_strata=self.options.max_strata,
+            feedback_mode=self.options.feedback_mode,
+            termination=self.options.termination,
+            checkpointing=self.options.checkpointing,
+            checkpoint_replication=self.options.checkpoint_replication,
+            failure=None,
+            recovery=self.options.recovery,
+            collect_result=self.options.collect_result,
+        )
+        retry = QueryExecutor(self.cluster, fresh_options)
+        result = retry.execute(plan)
+        result.metrics.recovery_seconds += wasted
+        return result
+
+    def _recover_incrementally(self, victim: int) -> None:
+        """Resume from the last completed stratum using replicated Δ-sets.
+
+        Takeover nodes (a) re-read the victim's immutable table partitions
+        from storage replicas into their local pipelines (rebuilding join
+        state), and (b) restore the checkpointed mutable rows for the failed
+        ranges into their fixpoint state, replaying them through the
+        recursive pipeline in the next stratum so downstream operator state
+        catches up.  Correct for refinement algebras that are monotone and
+        idempotent (min/max-style, e.g. shortest paths — the algorithm class
+        the paper's recovery experiment uses); use restart recovery for
+        non-idempotent aggregates such as PageRank sums.
+        """
+        # A key's *pre-failure* owner is the first of its original
+        # replicas that was still alive before this crash — which may be a
+        # takeover node from an earlier failure, so repeated failures
+        # re-migrate inherited ranges correctly ("forward progress even in
+        # the case of repeated failures", Section 4.3).
+        dead = set(self.snapshot.nodes) - set(self.snapshot.live_nodes())
+        previously_failed = dead - {victim}
+
+        def pre_failure_owner(ring_key) -> int:
+            owners = self.snapshot.original_replicas(
+                ring_key, len(self.snapshot.nodes))
+            for owner in owners:
+                if owner not in previously_failed:
+                    return owner
+            raise RecoveryError("all replicas of a key range are lost")
+
+        # (a) immutable data hand-off from storage replicas: every row the
+        # victim was serving (its own ranges plus any it inherited).
+        for table_name in self._plan.tables():
+            table = self.cluster.catalog.get(table_name)
+            key_index = table._key_index
+            lost_rows = []
+            for dead_node in dead:
+                lost_rows.extend(table.primaries.get(dead_node) or ())
+            moved = 0
+            for row in lost_rows:
+                ring_key = (row[key_index] if key_index is not None
+                            else None)
+                if pre_failure_owner(ring_key) != victim:
+                    continue
+                if table.replication < 2:
+                    raise RecoveryError(
+                        f"table {table.name} has no replicas; data on "
+                        f"node {victim} is unrecoverable")
+                node_id = self.snapshot.replicas(ring_key, 1)[0]
+                wp = self.worker_plans.get(node_id)
+                if wp is None:
+                    continue
+                worker = self.cluster.worker(node_id)
+                worker.charge_disk_bytes(64)
+                for scan in wp.sources:
+                    if (isinstance(scan, TableScan)
+                            and scan.table.name == table_name):
+                        scan.emit(Delta(DeltaOp.INSERT, row))
+                moved += 1
+        self.cluster.network.drain()
+
+        # (b) mutable-state hand-off from checkpoint replicas.
+        restored_keys: set = set()
+        restored = 0
+        for wp in self._live_plans():
+            if wp.fixpoint is None:
+                continue
+            for key, row in list(wp.checkpoint_entries.items()):
+                ring_key = normalize_key(key)
+                if pre_failure_owner(ring_key) != victim:
+                    continue
+                if self.snapshot.replicas(ring_key, 1)[0] != wp.worker_id:
+                    continue
+                wp.fixpoint.state[key] = row
+                if wp.feedback is not None:
+                    wp.feedback.deposit([Delta(DeltaOp.INSERT, row)])
+                restored_keys.add(key)
+                restored += 1
+        # Coverage check: a checkpointed key whose pre-failure owner was
+        # the victim must have been restored somewhere — otherwise every
+        # replica of its range is gone and the mutable state is lost.
+        for key in self._checkpointed_keys:
+            ring_key = normalize_key(key)
+            if (pre_failure_owner(ring_key) == victim
+                    and key not in restored_keys):
+                raise RecoveryError(
+                    f"mutable state for key {key!r} is unrecoverable: all "
+                    f"{self.options.checkpoint_replication} checkpoint "
+                    "replicas have failed (increase "
+                    "checkpoint_replication or use restart recovery)")
+        if restored == 0 and self._fixpoint_key_fn is not None:
+            # The victim held state but nothing could be restored: either
+            # checkpointing was off or replication was insufficient.
+            if not self.options.checkpointing:
+                raise RecoveryError(
+                    "incremental recovery requires checkpointing=True"
+                )
+        self.metrics.recovery_seconds += (
+            self.cluster.end_stratum_wall_time())

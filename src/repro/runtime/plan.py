@@ -1,0 +1,187 @@
+"""Physical plan descriptors.
+
+A plan is a tree of immutable node descriptors; the executor instantiates a
+fresh operator tree from it on every worker (and again from scratch after a
+restart-based recovery).  Anything holding per-worker mutable state —
+aggregators, join/while delta handlers — is therefore described by a
+*factory* (a zero-argument callable returning a fresh instance), never by a
+shared instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError
+
+
+class PNode:
+    """Base physical-plan node; ``children`` feed into this node."""
+
+    children: Tuple["PNode", ...] = ()
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class PScan(PNode):
+    """Scan a catalog table's local partition."""
+
+    table: str
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PFeedback(PNode):
+    """The fixpoint receiver: leaf of the recursive branch."""
+
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PFilter(PNode):
+    predicate: Callable[[tuple], Any]
+    children: Tuple[PNode, ...] = ()
+    #: UDF invocations per tuple inside the predicate (charged as UDC cost).
+    udf_calls: int = 0
+
+    @classmethod
+    def over(cls, child: PNode, predicate) -> "PFilter":
+        return cls(predicate=predicate, children=(child,))
+
+
+@dataclass(frozen=True)
+class PProject(PNode):
+    row_fn: Callable[[tuple], tuple]
+    children: Tuple[PNode, ...] = ()
+
+    @classmethod
+    def over(cls, child: PNode, row_fn) -> "PProject":
+        return cls(row_fn=row_fn, children=(child,))
+
+
+@dataclass(frozen=True)
+class PApply(PNode):
+    """applyFunction over a UDF (``udf_factory`` returns the UDF object)."""
+
+    udf_factory: Callable[[], Any]
+    arg_fn: Callable[[tuple], tuple]
+    mode: str = "extend"
+    delta_aware: bool = False
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PJoin(PNode):
+    """Pipelined hash join; children = (left, right)."""
+
+    left_key: Callable[[tuple], tuple]
+    right_key: Callable[[tuple], tuple]
+    handler_factory: Optional[Callable[[], Any]] = None
+    handler_side: Optional[int] = 1
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PGroupBy(PNode):
+    """Group-by; ``specs_factory`` returns fresh AggregateSpec objects."""
+
+    key_fn: Callable[[tuple], tuple]
+    specs_factory: Callable[[], Sequence[Any]]
+    mode: str = "stratum"
+    clear_states_each_stratum: bool = False
+    reset_emissions_each_stratum: bool = False
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PRehash(PNode):
+    """Cross-worker repartition by key (or broadcast)."""
+
+    key_fn: Optional[Callable[[tuple], tuple]] = None
+    broadcast: bool = False
+    children: Tuple[PNode, ...] = ()
+
+    @classmethod
+    def by(cls, child: PNode, key_fn) -> "PRehash":
+        return cls(key_fn=key_fn, children=(child,))
+
+    @classmethod
+    def broadcast_of(cls, child: PNode) -> "PRehash":
+        return cls(broadcast=True, children=(child,))
+
+
+@dataclass(frozen=True)
+class PUnion(PNode):
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PFixpoint(PNode):
+    """Fixpoint; children = (base_case, recursive_case).
+
+    ``key_fn`` is both the duplicate-elimination key and the partitioning
+    key for Δ-set checkpoints.  ``while_handler_factory`` overrides the
+    built-in keyed/set semantics with a user while-state handler.
+    """
+
+    key_fn: Optional[Callable[[tuple], tuple]] = None
+    semantics: str = "keyed"
+    while_handler_factory: Optional[Callable[[], Any]] = None
+    admit_unchanged: bool = False
+    children: Tuple[PNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class PCollect(PNode):
+    """Root sink: ships result deltas to the requestor."""
+
+    children: Tuple[PNode, ...] = ()
+
+
+class PhysicalPlan:
+    """A validated plan: a :class:`PCollect` root over an operator tree."""
+
+    def __init__(self, root: PNode):
+        if not isinstance(root, PCollect):
+            root = PCollect(children=(root,))
+        self.root = root
+        self._validate()
+
+    def _validate(self) -> None:
+        fixpoints = [n for n in self.root.walk() if isinstance(n, PFixpoint)]
+        feedbacks = [n for n in self.root.walk() if isinstance(n, PFeedback)]
+        if len(fixpoints) > 1:
+            raise PlanError("at most one fixpoint per plan is supported")
+        if fixpoints:
+            fp = fixpoints[0]
+            if len(fp.children) != 2:
+                raise PlanError("fixpoint requires (base, recursive) children")
+            recursive_feedbacks = [n for n in fp.children[1].walk()
+                                   if isinstance(n, PFeedback)]
+            if len(recursive_feedbacks) != 1:
+                raise PlanError(
+                    "the recursive branch must contain exactly one feedback leaf"
+                )
+            if len(feedbacks) != len(recursive_feedbacks):
+                raise PlanError("feedback outside the recursive branch")
+        elif feedbacks:
+            raise PlanError("feedback leaf requires a fixpoint")
+
+    @property
+    def fixpoint(self) -> Optional[PFixpoint]:
+        for node in self.root.walk():
+            if isinstance(node, PFixpoint):
+                return node
+        return None
+
+    @property
+    def is_recursive(self) -> bool:
+        return self.fixpoint is not None
+
+    def tables(self) -> List[str]:
+        return sorted({n.table for n in self.root.walk() if isinstance(n, PScan)})

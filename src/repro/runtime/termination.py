@@ -1,0 +1,90 @@
+"""Explicit termination conditions for recursive queries (Section 3.4).
+
+"REX allows the user to join or otherwise compare the recursive output from
+different strata to compute explicit termination conditions: How many pages
+have their PageRank changed by more than 1% between iterations n and n-1?"
+
+The helpers here build ``ExecOptions.termination`` callables that inspect
+the fixpoint relations between strata — the programmatic equivalent of the
+boolean subquery REX compiles explicit conditions into.  Each returns
+``True`` when the query should stop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+TerminationCheck = Callable[[int, "QueryExecutor"], bool]
+
+
+def _fixpoint_states(executor) -> Dict[tuple, tuple]:
+    state: Dict[tuple, tuple] = {}
+    for wp in executor._live_plans():
+        if wp.fixpoint is not None:
+            state.update(wp.fixpoint.state)
+    return state
+
+
+def after_iterations(n: int) -> TerminationCheck:
+    """Stop after ``n`` recursive strata regardless of convergence."""
+
+    def check(stratum, executor):
+        return stratum >= n
+
+    return check
+
+
+def changed_fraction_below(threshold: float, value_index: int = 1,
+                           tol: float = 0.01) -> TerminationCheck:
+    """Stop when fewer than ``threshold`` (fraction) of keys changed their
+    value column by more than ``tol`` (relative) since the last stratum —
+    the paper's "how many pages changed by more than 1%?" condition.
+    """
+    previous: Dict[tuple, tuple] = {}
+
+    def check(stratum, executor):
+        nonlocal previous
+        current = _fixpoint_states(executor)
+        if not current:
+            return False
+        changed = 0
+        for key, row in current.items():
+            old = previous.get(key)
+            if old is None:
+                changed += 1
+                continue
+            new_v, old_v = row[value_index], old[value_index]
+            if old_v is None or new_v is None:
+                changed += new_v != old_v
+            elif abs(new_v - old_v) > tol * abs(old_v):
+                changed += 1
+        previous = dict(current)
+        return changed / len(current) < threshold
+
+    return check
+
+
+def stable_for(strata: int) -> TerminationCheck:
+    """Stop once the fixpoint relation is bit-identical for ``strata``
+    consecutive strata (useful with bag semantics / no-delta runs)."""
+    history = {"last": None, "streak": 0}
+
+    def check(stratum, executor):
+        current = _fixpoint_states(executor)
+        if current == history["last"]:
+            history["streak"] += 1
+        else:
+            history["streak"] = 0
+        history["last"] = dict(current)
+        return history["streak"] >= strata
+
+    return check
+
+
+def any_of(*checks: TerminationCheck) -> TerminationCheck:
+    """Stop when any of the given conditions holds."""
+
+    def check(stratum, executor):
+        return any(c(stratum, executor) for c in checks)
+
+    return check

@@ -1,0 +1,13 @@
+"""Partitioned, replicated storage substrate (Section 4.1 of the paper)."""
+
+from repro.storage.hashing import HashRing, RingSnapshot, stable_hash
+from repro.storage.tables import Catalog, Partition, PartitionedTable
+
+__all__ = [
+    "HashRing",
+    "RingSnapshot",
+    "stable_hash",
+    "Catalog",
+    "Partition",
+    "PartitionedTable",
+]

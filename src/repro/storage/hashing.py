@@ -1,0 +1,199 @@
+"""Deterministic hashing and the consistent-hash ring.
+
+Section 4.1: "Data partitioning is based on keys rather than pages, and
+partitions are chosen using a consistent hashing and data replication scheme
+known to all nodes. ... every query in REX is distributed along with a
+snapshot of the data partitions across the machines as seen by the query
+requestor."
+
+Python's builtin ``hash`` is salted per process for strings, so we use a
+stable 64-bit hash (blake2b) that is identical across processes and runs —
+partitioning must be reproducible for the benchmarks and for recovery
+snapshots to make sense.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.common.errors import ReproError
+
+_RING_SPACE = 1 << 64
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic 64-bit hash of a key value.
+
+    Supports the scalar carrier types plus tuples of them.  Integers and the
+    equal-valued float hash identically (SQL key semantics: ``1 = 1.0``).
+    """
+    if isinstance(value, bool):
+        data = b"b" + (b"1" if value else b"0")
+    elif isinstance(value, float) and value.is_integer():
+        data = b"i" + str(int(value)).encode()
+    elif isinstance(value, (int, float)):
+        data = (b"i" if isinstance(value, int) else b"f") + repr(value).encode()
+    elif isinstance(value, str):
+        data = b"s" + value.encode("utf-8")
+    elif value is None:
+        data = b"n"
+    elif isinstance(value, tuple):
+        digest = hashlib.blake2b(digest_size=8)
+        digest.update(b"t")
+        for item in value:
+            digest.update(stable_hash(item).to_bytes(8, "little"))
+        return int.from_bytes(digest.digest(), "little")
+    else:
+        data = b"o" + repr(value).encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+def normalize_key(key: Any) -> Any:
+    """Collapse 1-tuples to their scalar so key-function output ``(v,)``
+    partitions identically to a table loaded with partition key ``v``."""
+    if isinstance(key, tuple) and len(key) == 1:
+        return key[0]
+    return key
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and replica placement.
+
+    Every node is mapped to ``virtual_nodes`` points on a 64-bit ring; a key
+    is owned by the first node clockwise of its hash.  Replicas are the next
+    ``n - 1`` *distinct* nodes clockwise, so losing a node transfers each of
+    its ranges to an existing replica (incremental recovery relies on this).
+    """
+
+    def __init__(self, nodes: Sequence[int], virtual_nodes: int = 64):
+        if not nodes:
+            raise ReproError("HashRing requires at least one node")
+        self.virtual_nodes = virtual_nodes
+        self._nodes: List[int] = []
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        for node in nodes:
+            self._insert(node)
+
+    def _insert(self, node: int) -> None:
+        if node in self._nodes:
+            raise ReproError(f"node {node} already on ring")
+        self._nodes.append(node)
+        for v in range(self.virtual_nodes):
+            point = stable_hash(("vnode", node, v))
+            idx = bisect.bisect(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def add_node(self, node: int) -> None:
+        """Add a node (used when a replacement machine joins after failure)."""
+        self._insert(node)
+
+    def remove_node(self, node: int) -> None:
+        """Remove a failed node; its ranges fall to clockwise successors."""
+        if node not in self._nodes:
+            raise ReproError(f"node {node} not on ring")
+        self._nodes.remove(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def primary(self, key: Any) -> int:
+        """The node owning ``key``."""
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: Any, n: int) -> List[int]:
+        """The first ``n`` distinct nodes clockwise of ``key``'s hash.
+
+        The first entry is the primary.  ``n`` is clipped to the cluster
+        size, so a replication factor larger than the cluster still works.
+        """
+        n = min(n, len(self._nodes))
+        point = stable_hash(key) % _RING_SPACE
+        start = bisect.bisect(self._points, point)
+        result: List[int] = []
+        seen = set()
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                result.append(owner)
+                if len(result) == n:
+                    break
+        return result
+
+    def snapshot(self) -> "RingSnapshot":
+        """Freeze the current partitioning for the lifetime of one query.
+
+        "All data will be routed according to this set of partitions,
+        guaranteeing that even as the network changes, data will be
+        delivered to the same place." (Section 4.1)
+        """
+        return RingSnapshot(tuple(self._points), tuple(self._owners),
+                            tuple(sorted(self._nodes)))
+
+
+class RingSnapshot:
+    """An immutable view of ring state taken at query-request time."""
+
+    __slots__ = ("_points", "_owners", "nodes", "_live")
+
+    def __init__(self, points: Tuple[int, ...], owners: Tuple[int, ...],
+                 nodes: Tuple[int, ...]):
+        self._points = points
+        self._owners = owners
+        self.nodes = nodes
+        # Nodes marked dead during recovery; routing skips them but the
+        # snapshot remembers original ownership for checkpoint hand-off.
+        self._live: Dict[int, bool] = {n: True for n in nodes}
+
+    def mark_failed(self, node: int) -> None:
+        self._live[node] = False
+
+    def live_nodes(self) -> List[int]:
+        return [n for n in self.nodes if self._live[n]]
+
+    def primary(self, key: Any) -> int:
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: Any, n: int) -> List[int]:
+        """Distinct live nodes clockwise of ``key`` (post-failure routing)."""
+        live = [node for node in self.nodes if self._live[node]]
+        n = min(n, len(live))
+        if n == 0:
+            raise ReproError("no live nodes remain in partition snapshot")
+        point = stable_hash(key) % _RING_SPACE
+        start = bisect.bisect(self._points, point)
+        result: List[int] = []
+        seen = set()
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner in seen or not self._live[owner]:
+                continue
+            seen.add(owner)
+            result.append(owner)
+            if len(result) == n:
+                break
+        return result
+
+    def original_replicas(self, key: Any, n: int) -> List[int]:
+        """Replica set ignoring failures — who *held* the checkpoints."""
+        n = min(n, len(self.nodes))
+        point = stable_hash(key) % _RING_SPACE
+        start = bisect.bisect(self._points, point)
+        result: List[int] = []
+        seen = set()
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                result.append(owner)
+                if len(result) == n:
+                    break
+        return result

@@ -1,0 +1,42 @@
+"""User-defined code: UDFs, UDAs, delta handlers (Section 3.3)."""
+
+from repro.udf.aggregates import (
+    AggregateSpec,
+    Aggregator,
+    JoinDeltaHandler,
+    WhileDeltaHandler,
+)
+from repro.udf.base import UDF, CachingUDF, introspect_udf, udf
+from repro.udf.builtins import (
+    BUILTIN_AGGREGATES,
+    ArgMax,
+    ArgMin,
+    Avg,
+    CollectList,
+    Count,
+    Max,
+    Min,
+    Sum,
+)
+from repro.udf.registry import UDFRegistry
+
+__all__ = [
+    "UDF",
+    "udf",
+    "CachingUDF",
+    "introspect_udf",
+    "Aggregator",
+    "AggregateSpec",
+    "JoinDeltaHandler",
+    "WhileDeltaHandler",
+    "UDFRegistry",
+    "BUILTIN_AGGREGATES",
+    "Sum",
+    "Count",
+    "Min",
+    "Max",
+    "Avg",
+    "ArgMin",
+    "ArgMax",
+    "CollectList",
+]

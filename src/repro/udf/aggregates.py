@@ -1,0 +1,169 @@
+"""User-defined aggregators (UDAs) and delta handlers.
+
+Section 3.3 defines four delta-handler forms; they map here as:
+
+* ``AGGSTATE(state, delta) -> deltas``   — :meth:`Aggregator.agg_state`
+* ``AGGRESULT(state) -> deltas``         — :meth:`Aggregator.agg_result`
+* join state ``UPDATE(left, right, d)``  — :meth:`JoinDeltaHandler.update`
+* while state ``UPDATE(rel, d)``         — :meth:`WhileDeltaHandler.update`
+
+An :class:`Aggregator` is "more than a simple SQL function: [it has] two or
+more handlers defining how [it] manage[s] and propagate[s] state."  The
+group-by operator owns the key -> state map (take-away (1) of Section 3.3);
+each aggregator owns its per-key intermediate state object and decides what
+to emit (take-away (2)).
+
+Optimizer-facing metadata (Section 5.2): ``composable`` marks UDAs whose
+partial results can be unioned and finally aggregated (sum, avg — not
+median), enabling pre-aggregation pushdown through arbitrary joins;
+``pre_aggregator`` supplies the combiner; ``multiply`` compensates
+pre-aggregated inputs of multiplicative (non key-FK) joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.deltas import Delta, DeltaOp
+from repro.common.errors import UDFError
+from repro.udf.base import _parse_types
+
+
+class Aggregator:
+    """Base class for user-defined (and built-in) aggregate functions.
+
+    Lifecycle per grouping key: the group-by operator calls
+    :meth:`init_state` the first time the key is seen, then
+    :meth:`agg_state` for every arriving delta (which may return
+    intermediate output deltas, e.g. partial sums for streamed
+    pre-aggregation), and :meth:`agg_result` when the stratum closes.
+
+    ``agg_state``/``agg_result`` return *values* (or rows), not deltas —
+    the group-by operator turns the value sequence into insert/replace
+    deltas keyed by the group.  Handlers that need full control can
+    instead emit :class:`~repro.common.deltas.Delta` objects directly;
+    the operator passes those through untouched.
+    """
+
+    name: Optional[str] = None
+    in_types: Sequence[str] = ()
+    out_types: Sequence[str] = ()
+    composable: bool = False
+    multiply: Optional[Callable[..., Any]] = None
+    """For composable UDAs under multiplicative joins: maps (value, n) to
+    the value compensated for the cardinality ``n`` of the opposite join
+    group (plain multiplication for the numeric built-ins)."""
+
+    def __init__(self):
+        self.name = self.name or type(self).__name__
+        self.input_fields = _parse_types(self.in_types)
+        self.output_fields = _parse_types(self.out_types)
+
+    # -- state management -------------------------------------------------
+    def init_state(self) -> Any:
+        """A fresh per-key intermediate state ("a default object if the key
+        does not exist")."""
+        raise NotImplementedError
+
+    def agg_state(self, state: Any, delta: Delta, value: Any) -> Any:
+        """Fold one delta into ``state``; return the revised state.
+
+        ``value`` is the aggregate's input expression evaluated on the
+        delta's row (and on the old row for REPLACE, see ``old_value`` via
+        the operator).  Built-ins interpret INSERT/DELETE/REPLACE natively;
+        handlers may interpret UPDATE payloads.
+        """
+        raise NotImplementedError
+
+    def agg_result(self, state: Any) -> Any:
+        """The current output value for a key, computed from its state."""
+        raise NotImplementedError
+
+    # -- optimizer metadata ------------------------------------------------
+    def pre_aggregator(self) -> Optional["Aggregator"]:
+        """The combiner run before the shuffle (None if not supported)."""
+        return None
+
+    def final_aggregator(self) -> "Aggregator":
+        """The aggregator applied over pre-aggregated partial values; the
+        default assumes self can consume its own partials (sum, min...)."""
+        return self
+
+    def __repr__(self):
+        return f"UDA({self.name})"
+
+
+class AggregateSpec:
+    """One aggregate column of a group-by: function + input expression.
+
+    ``arg`` maps an input row to the aggregate's input value; ``output``
+    names the result column.
+    """
+
+    def __init__(self, aggregator: Aggregator,
+                 arg: Optional[Callable[[tuple], Any]] = None,
+                 output: Optional[str] = None):
+        self.aggregator = aggregator
+        self.arg = arg or (lambda row: None)
+        self.output = output or aggregator.name.lower()
+
+    def __repr__(self):
+        return f"AggregateSpec({self.aggregator.name} -> {self.output})"
+
+
+class JoinDeltaHandler:
+    """User-defined join-state handler (Definition in Section 3.3).
+
+    Called by the join operator with the two tuple buckets matching the
+    delta's join key.  The handler mutates the buckets as it sees fit and
+    returns the deltas to propagate downstream.  ``side`` tells which input
+    the delta arrived on (0 = left, 1 = right).
+    """
+
+    name: Optional[str] = None
+    in_types: Sequence[str] = ()
+    out_types: Sequence[str] = ()
+
+    def __init__(self):
+        self.name = self.name or type(self).__name__
+        self.input_fields = _parse_types(self.in_types)
+        self.output_fields = _parse_types(self.out_types)
+
+    def update(self, left_bucket: list, right_bucket: list,
+               delta: Delta, side: int) -> Iterable[Delta]:
+        raise NotImplementedError
+
+
+class WhileDeltaHandler:
+    """User-defined while/fixpoint-state handler.
+
+    Called with the operator's accumulated relation (a mutable mapping from
+    fixpoint key to row) and the incoming delta; returns the deltas to admit
+    into the next stratum ("possibly the empty set").
+    """
+
+    name: Optional[str] = None
+
+    def __init__(self):
+        self.name = self.name or type(self).__name__
+
+    def update(self, while_relation: dict, delta: Delta) -> Iterable[Delta]:
+        raise NotImplementedError
+
+
+def as_deltas(key_row: Tuple, values: Any) -> List[Delta]:
+    """Normalize a handler return (None | value | iterable of Delta) into a
+    delta list.  Used by operators to accept both styles."""
+    if values is None:
+        return []
+    if isinstance(values, Delta):
+        return [values]
+    out = []
+    for v in values:
+        if not isinstance(v, Delta):
+            raise UDFError(
+                f"delta handler returned non-Delta {v!r}; wrap values with "
+                "repro.common.insert/replace/update"
+            )
+        out.append(v)
+    return out

@@ -1,0 +1,5 @@
+"""Ensure the tests directory itself is importable (for helpers.py)."""
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,44 @@
+"""Shared test scaffolding: a standalone exec context and a capture sink."""
+
+from repro.cluster import CostModel, Worker
+from repro.common.deltas import Delta
+from repro.common.punctuation import Punctuation
+from repro.operators import ExecContext, Operator
+
+
+class Capture(Operator):
+    """Terminal operator recording everything it receives."""
+
+    def __init__(self):
+        super().__init__("Capture")
+        self.deltas = []
+        self.puncts = []
+
+    def process(self, delta: Delta, port: int) -> None:
+        self.deltas.append(delta)
+
+    def on_punctuation(self, punct: Punctuation, port: int = 0) -> None:
+        self.puncts.append(punct)
+
+    def rows(self):
+        return [d.row for d in self.deltas]
+
+    def clear(self):
+        self.deltas = []
+        self.puncts = []
+
+
+def make_ctx(node_id: int = 0, cost_model: CostModel = None) -> ExecContext:
+    worker = Worker(node_id, cost_model or CostModel())
+    return ExecContext(worker)
+
+
+def wire(*chain):
+    """Wire operators bottom-up: wire(child, mid, sink) makes child -> mid
+    -> sink, opens them all on a fresh context, and returns the context."""
+    ctx = make_ctx()
+    for lower, upper in zip(chain, chain[1:]):
+        upper.add_input(lower)
+    for op in chain:
+        op.open(ctx)
+    return ctx

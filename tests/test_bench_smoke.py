@@ -1,0 +1,99 @@
+"""Fast smoke tests for the figure harness (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench import ALL_FIGURES
+from repro.bench.common import (
+    FigureResult,
+    Series,
+    fresh_cluster,
+    scaled_cost_model,
+    speedup,
+)
+from repro.cluster import CostModel
+
+
+class TestCommonHelpers:
+    def test_series_accessors(self):
+        s = Series("x", [1.0, 2.0, 3.0])
+        assert s.total() == 6.0
+        assert s.last() == 3.0
+
+    def test_figure_result_get(self):
+        fig = FigureResult("F", "t", series=[Series("a", [1.0])])
+        assert fig.get("a").values == [1.0]
+        with pytest.raises(KeyError):
+            fig.get("missing")
+
+    def test_format_table_contains_everything(self):
+        fig = FigureResult("Figure X", "title",
+                           series=[Series("line", [1.0, 2.0])],
+                           headline={"ratio": 2.0},
+                           notes=["a note"])
+        text = fig.format_table()
+        assert "Figure X" in text and "line" in text
+        assert "ratio = 2.000" in text and "a note" in text
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_scaled_cost_model_divides_fixed_costs(self):
+        base = CostModel()
+        scaled = scaled_cost_model(100.0, base)
+        assert scaled.hadoop_job_startup == base.hadoop_job_startup / 100
+        assert scaled.rex_stratum_overhead == base.rex_stratum_overhead / 100
+        assert scaled.net_latency == base.net_latency / 100
+        # Work costs untouched: same ruler for per-tuple economics.
+        assert scaled.cpu_tuple_cost == base.cpu_tuple_cost
+        assert scaled.hadoop_record_cost == base.hadoop_record_cost
+
+    def test_scale_below_one_clamped(self):
+        base = CostModel()
+        assert scaled_cost_model(0.1, base).hadoop_job_startup == \
+            base.hadoop_job_startup
+
+    def test_fresh_cluster(self):
+        assert fresh_cluster(3).num_nodes == 3
+
+
+class TestFigureRegistry:
+    def test_all_eleven_figures_registered(self):
+        assert sorted(ALL_FIGURES) == [f"fig{i:02d}" for i in range(2, 13)]
+
+    def test_every_entry_callable(self):
+        for fn in ALL_FIGURES.values():
+            assert callable(fn)
+
+
+class TestTinyFigureRuns:
+    """Miniature parameterizations keep these in unit-test time."""
+
+    def test_fig04_tiny(self):
+        from repro.bench import fig04_simple_agg
+
+        result = fig04_simple_agg.run(n_rows=1500, nodes=3)
+        assert result.headline["rex_vs_hadoop_speedup"] > 1.0
+        assert len(result.series) == 4
+
+    def test_fig05_tiny(self):
+        from repro.bench import fig05_kmeans
+
+        result = fig05_kmeans.run(sizes=(150, 400), nodes=3)
+        assert result.headline["speedup_largest"] > 1.0
+
+    def test_fig10_tiny(self):
+        from repro.bench import fig10_scalability
+
+        result = fig10_scalability.run(n_vertices=500, degree=6.0,
+                                       node_counts=(1, 4))
+        times = result.get("REX Δ").values
+        assert times[1] < times[0]
+
+    def test_fig12_tiny(self):
+        from repro.bench import fig12_recovery
+
+        result = fig12_recovery.run(n_vertices=400, degree=5.0,
+                                    failure_points=(2,))
+        assert result.get("Incremental").values[0] < \
+            result.get("Restart").values[0]

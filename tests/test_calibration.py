@@ -1,0 +1,101 @@
+"""UDF calibration and cost hints (Section 5.1)."""
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import UDFError
+from repro.optimizer import apply_profile, calibrate_udf
+from repro.udf import udf
+
+
+class TestCalibration:
+    def test_measures_per_call_time(self):
+        @udf(in_types=["Integer"])
+        def slowish(n):
+            time.sleep(0.001)
+            return n
+
+        profile = calibrate_udf(slowish, [(1,), (2,)], repeats=1)
+        assert profile.per_call_seconds >= 0.001
+        assert profile.samples == 2
+
+    def test_predicate_selectivity_observed(self):
+        @udf(in_types=["Integer"], out_types=["Boolean"])
+        def over_five(n):
+            return n > 5
+
+        profile = calibrate_udf(over_five, [(i,) for i in range(10)])
+        assert profile.selectivity == pytest.approx(0.4)
+
+    def test_table_valued_productivity_observed(self):
+        @udf(in_types=["Integer"], table_valued=True)
+        def repeat(n):
+            return [(i,) for i in range(n)]
+
+        profile = calibrate_udf(repeat, [(0,), (2,), (4,)])
+        assert profile.selectivity == pytest.approx(2.0)
+
+    def test_scalar_selectivity_defaults_to_one(self):
+        @udf(in_types=["Integer"])
+        def ident(n):
+            return n
+
+        assert calibrate_udf(ident, [(1,)]).selectivity == 1.0
+
+    def test_requires_samples(self):
+        @udf()
+        def f(x):
+            return x
+
+        with pytest.raises(UDFError):
+            calibrate_udf(f, [])
+
+    def test_cost_hint_coefficient_fitted(self):
+        """The paper's value-dependent case: a hint gives the big-O shape,
+        calibration fits the coefficient, prediction extrapolates."""
+
+        def busy(n):
+            total = 0
+            for i in range(n * 200):
+                total += i
+            return total
+
+        @udf(in_types=["Integer"], cost_hint=lambda n: float(n))
+        def iterate(n):
+            return busy(n)
+
+        profile = calibrate_udf(iterate, [(5,), (10,), (20,)], repeats=3)
+        assert profile.hint_coefficient is not None
+        # Prediction should scale ~linearly with the hint argument.
+        small = profile.cost_for(10)
+        large = profile.cost_for(100)
+        assert large == pytest.approx(10 * small, rel=1e-9)
+
+    def test_apply_profile_feeds_optimizer(self):
+        @udf(in_types=["Integer"], out_types=["Boolean"])
+        def pred(n):
+            return n % 2 == 0
+
+        profile = calibrate_udf(pred, [(i,) for i in range(8)])
+        apply_profile(pred, profile)
+        assert pred.selectivity == pytest.approx(0.5)
+        assert pred.calibrated_cost == profile.per_call_seconds
+
+        # The cost estimator should pick the calibrated number up.
+        from repro.operators.expressions import ColumnRef, FuncCall
+        from repro.optimizer import CostEstimator, StatisticsCatalog
+        from repro.optimizer.logical import LFilter, LScan
+
+        cluster = Cluster(2)
+        cluster.create_table("t", ["n:Integer"], [(i,) for i in range(10)],
+                             "n")
+        estimator = CostEstimator(StatisticsCatalog(cluster.catalog),
+                                  cluster.cost, 2)
+        table = cluster.catalog.get("t")
+        node = LFilter(LScan("t", table.schema, "n"),
+                       FuncCall(pred, [ColumnRef("n")]))
+        assert estimator.predicate_cost(node) == pytest.approx(
+            cluster.cost.cpu_tuple_cost + profile.per_call_seconds)
+        assert estimator.selectivity_of(node) == pytest.approx(0.5)

@@ -1,0 +1,89 @@
+"""Tests for the CSV-backed command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_value, load_csv, main
+from repro.common.errors import ReproError
+
+
+@pytest.fixture
+def edges_csv(tmp_path):
+    path = tmp_path / "edges.csv"
+    path.write_text("srcId:Integer,destId:Integer\n0,1\n0,2\n1,2\n2,0\n")
+    return str(path)
+
+
+@pytest.fixture
+def people_csv(tmp_path):
+    path = tmp_path / "people.csv"
+    path.write_text("id,name,score\n1,ann,2.5\n2,bob,3.5\n")
+    return str(path)
+
+
+class TestCsvLoading:
+    def test_explicit_types(self, edges_csv):
+        schema, rows = load_csv(edges_csv)
+        assert schema == ["srcId:Integer", "destId:Integer"]
+        assert rows[0] == (0, 1)
+
+    def test_inferred_types(self, people_csv):
+        schema, rows = load_csv(people_csv)
+        assert schema == ["id:Integer", "name:Varchar", "score:Double"]
+        assert rows[1] == (2, "bob", 3.5)
+
+    def test_empty_cell_is_null(self):
+        assert _parse_value("") is None
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ReproError):
+            load_csv(str(empty))
+
+
+class TestCliExecution:
+    def test_simple_query(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--key", "graph=srcId",
+                   "--nodes", "2",
+                   "SELECT srcId, count(*) FROM graph GROUP BY srcId"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["0\t2", "1\t1", "2\t1"]
+
+    def test_metrics_flag(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--metrics",
+                   "SELECT count(*) FROM graph"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "iterations" in err and "simulated" in err
+
+    def test_explain_flag(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--explain",
+                   "SELECT srcId FROM graph WHERE destId > 0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Scan(graph)" in out and "Filter" in out
+
+    def test_limit(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--limit", "2",
+                   "SELECT srcId, destId FROM graph"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2
+        assert "more rows" in captured.err
+
+    def test_query_from_file(self, edges_csv, tmp_path, capsys):
+        qfile = tmp_path / "q.rql"
+        qfile.write_text("SELECT count(*) FROM graph")
+        rc = main(["--table", f"graph={edges_csv}", f"@{qfile}"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_bad_table_spec(self, capsys):
+        assert main(["--table", "oops", "SELECT 1 FROM t"]) == 2
+
+    def test_query_error_reported(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}",
+                   "SELECT nope FROM graph"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

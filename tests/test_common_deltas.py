@@ -1,0 +1,117 @@
+"""Unit tests for the delta (annotated tuple) model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import Delta, DeltaOp, delete, insert, replace, update
+from repro.common.deltas import apply_deltas
+
+rows = st.tuples(st.integers(), st.integers())
+
+
+class TestConstruction:
+    def test_insert(self):
+        d = insert((1, 2))
+        assert d.op is DeltaOp.INSERT
+        assert d.row == (1, 2)
+        assert d.old is None and d.payload is None
+
+    def test_delete(self):
+        d = delete((3,))
+        assert d.op is DeltaOp.DELETE
+        assert d.row == (3,)
+
+    def test_replace_carries_old(self):
+        d = replace((1, 10), (1, 20))
+        assert d.op is DeltaOp.REPLACE
+        assert d.row == (1, 20)
+        assert d.old == (1, 10)
+
+    def test_update_carries_payload(self):
+        d = update((7,), payload=0.25)
+        assert d.op is DeltaOp.UPDATE
+        assert d.payload == 0.25
+
+    def test_replace_requires_old(self):
+        with pytest.raises(ValueError):
+            Delta(DeltaOp.REPLACE, (1,))
+
+    def test_insert_rejects_old(self):
+        with pytest.raises(ValueError):
+            Delta(DeltaOp.INSERT, (1,), old=(2,))
+
+    def test_insert_rejects_payload(self):
+        with pytest.raises(ValueError):
+            Delta(DeltaOp.INSERT, (1,), payload=3)
+
+    def test_rows_coerced_to_tuples(self):
+        assert insert([1, 2]).row == (1, 2)
+
+    def test_deltas_are_hashable_value_objects(self):
+        assert insert((1,)) == insert((1,))
+        assert len({insert((1,)), insert((1,)), delete((1,))}) == 2
+
+
+class TestWithRow:
+    def test_insert_with_row_keeps_annotation(self):
+        d = insert((1, 2)).with_row((2,))
+        assert d.op is DeltaOp.INSERT and d.row == (2,)
+
+    def test_update_with_row_keeps_payload(self):
+        d = update((1,), payload="E").with_row((9,))
+        assert d.op is DeltaOp.UPDATE and d.payload == "E"
+
+    def test_replace_with_row_requires_old(self):
+        d = replace((1, 1), (1, 2))
+        with pytest.raises(ValueError):
+            d.with_row((2,))
+        d2 = d.with_row((2,), old=(1,))
+        assert d2.row == (2,) and d2.old == (1,)
+
+
+class TestInversion:
+    def test_insert_inverts_to_delete(self):
+        assert insert((1,)).inverted() == delete((1,))
+
+    def test_delete_inverts_to_insert(self):
+        assert delete((1,)).inverted() == insert((1,))
+
+    def test_replace_inverts_to_reverse_replace(self):
+        assert replace((1,), (2,)).inverted() == replace((2,), (1,))
+
+    def test_update_is_not_invertible(self):
+        with pytest.raises(ValueError):
+            update((1,), payload=1).inverted()
+
+    @given(rows)
+    def test_double_inversion_is_identity(self, row):
+        d = insert(row)
+        assert d.inverted().inverted() == d
+
+
+class TestApplyDeltas:
+    def test_insert_delete_replace(self):
+        out = apply_deltas({(1,)}, [insert((2,)), delete((1,)),
+                                    replace((2,), (3,))])
+        assert out == {(3,)}
+
+    def test_delete_of_absent_row_is_noop(self):
+        assert apply_deltas(set(), [delete((9,))]) == set()
+
+    def test_update_rejected(self):
+        with pytest.raises(ValueError):
+            apply_deltas(set(), [update((1,), payload=1)])
+
+    @given(st.sets(rows, max_size=20), st.lists(rows, max_size=20))
+    def test_insert_then_delete_cancels(self, base, extra):
+        """Inserting rows then deleting them restores the base set."""
+        deltas = [insert(r) for r in extra] + [delete(r) for r in extra]
+        assert apply_deltas(base, deltas) == base - set(extra)
+
+    @given(st.sets(rows, max_size=20))
+    def test_inverted_sequence_undoes(self, base):
+        forward = [insert((99, 99)), replace((99, 99), (98, 98))]
+        applied = apply_deltas(base, forward)
+        restored = apply_deltas(applied, [d.inverted() for d in reversed(forward)])
+        assert restored == base | ({(99, 99)} & base)

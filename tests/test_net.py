@@ -1,0 +1,119 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.common import insert, replace, update
+from repro.common.errors import ExecutionError
+from repro.common.punctuation import Punctuation
+from repro.net import Message, SimulatedNetwork
+
+
+def msg(src=0, dst=1, exchange="x", deltas=None, punct=None, meta=None):
+    return Message(src=src, dst=dst, exchange=exchange, deltas=deltas,
+                   punct=punct, meta=meta)
+
+
+class TestMessageSize:
+    def test_punct_message_fixed_size(self):
+        m = msg(punct=Punctuation.end_of_stratum(0))
+        assert m.size_bytes() == 16
+
+    def test_delta_batch_size_grows(self):
+        one = msg(deltas=[insert((1, 2.0))]).size_bytes()
+        two = msg(deltas=[insert((1, 2.0)), insert((3, 4.0))]).size_bytes()
+        assert two > one
+
+    def test_replace_counts_both_images(self):
+        ins = msg(deltas=[insert((1, 2.0))]).size_bytes()
+        rep = msg(deltas=[replace((1, 1.0), (1, 2.0))]).size_bytes()
+        assert rep > ins
+
+    def test_update_counts_payload(self):
+        bare = msg(deltas=[insert((1,))]).size_bytes()
+        upd = msg(deltas=[update((1,), payload=3.5)]).size_bytes()
+        assert upd > bare
+
+
+class TestDeliveryAndAccounting:
+    def test_fifo_dispatch(self):
+        net = SimulatedNetwork()
+        seen = []
+        net.register(1, "x", lambda m: seen.append(m.meta))
+        net.send(msg(meta="a"))
+        net.send(msg(meta="b"))
+        assert net.drain() == 2
+        assert seen == ["a", "b"]
+
+    def test_local_sends_free(self):
+        net = SimulatedNetwork()
+        net.register(0, "x", lambda m: None)
+        net.send(msg(src=0, dst=0))
+        assert net.total_bytes == 0
+        assert net.drain() == 1  # still delivered
+
+    def test_remote_bytes_counted(self):
+        net = SimulatedNetwork()
+        net.register(1, "x", lambda m: None)
+        net.send(msg(deltas=[insert((1, 2.0))]))
+        assert net.total_bytes > 0
+        assert net.bytes_by_node[0] == net.total_bytes
+        assert net.links[(0, 1)].messages == 1
+
+    def test_on_bytes_callback(self):
+        calls = []
+        net = SimulatedNetwork(on_bytes=lambda s, d, b: calls.append((s, d, b)))
+        net.register(1, "x", lambda m: None)
+        net.send(msg())
+        assert calls and calls[0][:2] == (0, 1)
+
+    def test_duplicate_registration_rejected(self):
+        net = SimulatedNetwork()
+        net.register(1, "x", lambda m: None)
+        with pytest.raises(ExecutionError):
+            net.register(1, "x", lambda m: None)
+
+    def test_unknown_handler_raises_at_dispatch(self):
+        net = SimulatedNetwork()
+        net.send(msg())
+        with pytest.raises(ExecutionError):
+            net.drain()
+
+    def test_handlers_may_send_more(self):
+        net = SimulatedNetwork()
+        hops = []
+
+        def relay(m):
+            hops.append(m.dst)
+            if m.dst == 1:
+                net.send(msg(src=1, dst=2, exchange="x"))
+
+        net.register(1, "x", relay)
+        net.register(2, "x", relay)
+        net.send(msg())
+        assert net.drain() == 2
+        assert hops == [1, 2]
+
+
+class TestDeadNodes:
+    def test_dead_node_cannot_send(self):
+        net = SimulatedNetwork()
+        net.register(1, "x", lambda m: None)
+        net.unregister_node(0)
+        net.send(msg(src=0, dst=1))
+        assert net.pending() == 0
+        assert net.total_bytes == 0
+
+    def test_mail_for_the_dead_dropped(self):
+        net = SimulatedNetwork()
+        net.register(1, "x", lambda m: None)
+        net.send(msg())
+        net.unregister_node(1)
+        assert net.pop() is None
+
+    def test_revive(self):
+        net = SimulatedNetwork()
+        net.unregister_node(0)
+        net.revive_node(0)
+        net.register(1, "x", lambda m: None)
+        net.send(msg(src=0, dst=1))
+        assert net.drain() == 1

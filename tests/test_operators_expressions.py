@@ -1,0 +1,143 @@
+"""Unit tests for the compiled expression layer."""
+
+import pytest
+
+from repro.common import Schema
+from repro.common.errors import PlanError, SchemaError
+from repro.common.schema import SQLType
+from repro.operators import (
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    TupleField,
+    make_key_fn,
+    make_row_fn,
+)
+from repro.udf import udf
+
+SCHEMA = Schema.of("a:Integer", "b:Double", "s:Varchar")
+
+
+def ev(expr, row, schema=SCHEMA):
+    return expr.bind(schema).eval(row)
+
+
+class TestColumnAndLiteral:
+    def test_column_lookup(self):
+        assert ev(ColumnRef("b"), (1, 2.5, "x")) == 2.5
+
+    def test_unknown_column_raises_on_bind(self):
+        with pytest.raises(SchemaError):
+            ColumnRef("zzz").bind(SCHEMA)
+
+    def test_unbound_eval_raises(self):
+        with pytest.raises(PlanError):
+            ColumnRef("a").eval((1,))
+
+    def test_literal(self):
+        assert ev(Literal(42), (0, 0.0, "")) == 42
+
+    def test_literal_types(self):
+        assert Literal(1).output_type() is SQLType.INTEGER
+        assert Literal(1.5).output_type() is SQLType.DOUBLE
+        assert Literal("x").output_type() is SQLType.VARCHAR
+        assert Literal(True).output_type() is SQLType.BOOLEAN
+
+
+class TestBinaryOps:
+    def test_arithmetic(self):
+        e = BinaryOp("+", ColumnRef("a"), Literal(2))
+        assert ev(e, (3, 0.0, "")) == 5
+
+    def test_nested(self):
+        e = BinaryOp("*", BinaryOp("-", ColumnRef("a"), Literal(1)), Literal(10))
+        assert ev(e, (4, 0.0, "")) == 30
+
+    def test_division_by_zero_is_null(self):
+        e = BinaryOp("/", Literal(1), Literal(0))
+        assert ev(e, (0, 0.0, "")) is None
+
+    def test_null_propagation(self):
+        e = BinaryOp("+", ColumnRef("a"), Literal(2))
+        assert ev(e, (None, 0.0, "")) is None
+
+    def test_comparisons(self):
+        assert ev(BinaryOp(">", ColumnRef("a"), Literal(1)), (2, 0.0, "")) is True
+        assert ev(BinaryOp("=", ColumnRef("s"), Literal("x")), (0, 0.0, "x")) is True
+        assert ev(BinaryOp("<>", Literal(1), Literal(1)), ()) is False
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            BinaryOp("**", Literal(1), Literal(2))
+
+    def test_comparison_type_is_boolean(self):
+        assert BinaryOp("<", Literal(1), Literal(2)).output_type() is SQLType.BOOLEAN
+
+    def test_arith_type_widening(self):
+        e = BinaryOp("+", ColumnRef("a"), ColumnRef("b"))
+        assert e.bind(SCHEMA).output_type(SCHEMA) is SQLType.DOUBLE
+
+
+class TestBoolOps:
+    def test_and_or_not(self):
+        t, f = Literal(True), Literal(False)
+        assert ev(BoolOp("and", [t, t]), ()) is True
+        assert ev(BoolOp("and", [t, f]), ()) is False
+        assert ev(BoolOp("or", [f, t]), ()) is True
+        assert ev(BoolOp("not", [f]), ()) is True
+
+    def test_sql_three_valued_logic(self):
+        t, f, n = Literal(True), Literal(False), Literal(None)
+        assert ev(BoolOp("and", [f, n]), ()) is False   # FALSE AND NULL
+        assert ev(BoolOp("and", [t, n]), ()) is None    # TRUE AND NULL
+        assert ev(BoolOp("or", [t, n]), ()) is True     # TRUE OR NULL
+        assert ev(BoolOp("or", [f, n]), ()) is None     # FALSE OR NULL
+        assert ev(BoolOp("not", [n]), ()) is None
+
+    def test_not_arity_enforced(self):
+        with pytest.raises(PlanError):
+            BoolOp("not", [Literal(True), Literal(False)])
+
+
+class TestFuncCallAndTupleField:
+    def test_func_call(self):
+        @udf(out_types=["Integer"])
+        def triple(x):
+            return 3 * x
+
+        e = FuncCall(triple, [ColumnRef("a")])
+        assert ev(e, (2, 0.0, "")) == 6
+        assert e.output_type() is SQLType.INTEGER
+
+    def test_tuple_field_expansion(self):
+        @udf(table_valued=False)
+        def pair(x):
+            return (x, x + 1)
+
+        base = FuncCall(pair, [ColumnRef("a")])
+        assert ev(TupleField(base, 0), (5, 0.0, "")) == 5
+        assert ev(TupleField(base, 1), (5, 0.0, "")) == 6
+
+    def test_tuple_field_of_null(self):
+        assert ev(TupleField(Literal(None), 0), ()) is None
+
+    def test_columns_collected(self):
+        e = BinaryOp("+", ColumnRef("a"), BinaryOp("*", ColumnRef("b"), Literal(2)))
+        assert sorted(e.columns()) == ["a", "b"]
+
+
+class TestCompiledHelpers:
+    def test_make_key_fn_single(self):
+        key = make_key_fn(SCHEMA, ["a"])
+        assert key((7, 0.0, "x")) == (7,)
+
+    def test_make_key_fn_composite(self):
+        key = make_key_fn(SCHEMA, ["s", "a"])
+        assert key((7, 0.0, "x")) == ("x", 7)
+
+    def test_make_row_fn(self):
+        fn = make_row_fn([ColumnRef("s"), BinaryOp("+", ColumnRef("a"), Literal(1))],
+                         SCHEMA)
+        assert fn((1, 0.0, "q")) == ("q", 2)

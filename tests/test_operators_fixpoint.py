@@ -1,0 +1,162 @@
+"""Unit tests for the fixpoint/while operator."""
+
+import pytest
+
+from repro.common import DeltaOp, delete, insert, replace, update
+from repro.common.errors import ExecutionError
+from repro.common.punctuation import Punctuation
+from repro.operators import Fixpoint
+from repro.udf.aggregates import WhileDeltaHandler
+
+from helpers import Capture, wire
+
+
+def make_fixpoint(**kwargs):
+    kwargs.setdefault("key_fn", lambda r: (r[0],))
+    sink = Capture()
+    fp = Fixpoint(**kwargs)
+    wire(fp, sink)
+    return fp, sink
+
+
+class TestKeyedSemantics:
+    def test_new_key_admitted_as_insert(self):
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        assert [d.op for d in fp.pending] == [DeltaOp.INSERT]
+
+    def test_duplicate_row_dropped(self):
+        """Set-semantics duplicate elimination by key (Section 4.2)."""
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.take_pending()
+        fp.receive(insert(("a", 1.0)))
+        assert fp.pending == []
+
+    def test_changed_row_refines_state(self):
+        """State refinement: a differing row replaces the stored one."""
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.take_pending()
+        fp.receive(insert(("a", 2.0)))
+        d = fp.pending[0]
+        assert d.op is DeltaOp.REPLACE
+        assert d.old == ("a", 1.0) and d.row == ("a", 2.0)
+        assert fp.state[("a",)] == ("a", 2.0)
+
+    def test_upstream_replace_uses_new_image(self):
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.take_pending()
+        fp.receive(replace(("a", 0.5), ("a", 3.0)))
+        assert fp.pending[0].old == ("a", 1.0)  # our stored image, not theirs
+
+    def test_delete_removes_key(self):
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.take_pending()
+        fp.receive(delete(("a", 1.0)))
+        assert fp.pending[0].op is DeltaOp.DELETE
+        assert fp.mutable_size() == 0
+
+    def test_delete_of_absent_key_is_noop(self):
+        fp, _ = make_fixpoint()
+        fp.receive(delete(("a", 1.0)))
+        assert fp.pending == []
+
+    def test_update_without_handler_rejected(self):
+        fp, _ = make_fixpoint()
+        with pytest.raises(ExecutionError):
+            fp.receive(update(("a",), payload=1))
+
+    def test_admit_unchanged_mode(self):
+        """No-delta configuration: unchanged rows re-admitted each round."""
+        fp, _ = make_fixpoint(admit_unchanged=True)
+        fp.receive(insert(("a", 1.0)))
+        fp.take_pending()
+        fp.receive(insert(("a", 1.0)))
+        assert len(fp.pending) == 1
+
+
+class TestSetSemantics:
+    def test_set_dedup(self):
+        fp, _ = make_fixpoint(key_fn=None, semantics="set")
+        fp.receive(insert((1, 2)))
+        fp.receive(insert((1, 2)))
+        assert len(fp.pending) == 1
+        assert fp.mutable_size() == 1
+
+    def test_set_replace_decomposes(self):
+        fp, _ = make_fixpoint(key_fn=None, semantics="set")
+        fp.receive(insert((1,)))
+        fp.take_pending()
+        fp.receive(replace((1,), (2,)))
+        assert sorted(d.op.name for d in fp.pending) == ["DELETE", "INSERT"]
+
+
+class TestBagSemantics:
+    def test_everything_admitted(self):
+        fp, _ = make_fixpoint(key_fn=None, semantics="bag")
+        fp.receive(insert((1,)))
+        fp.receive(insert((1,)))
+        assert len(fp.pending) == 2
+
+
+class TestPendingAndFeedback:
+    def test_take_pending_clears(self):
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        out = fp.take_pending()
+        assert len(out) == 1 and fp.pending == []
+        assert fp.admitted_this_stratum == 0
+
+    def test_take_full_returns_entire_state(self):
+        fp, _ = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.receive(insert(("b", 2.0)))
+        fp.take_pending()
+        fp.receive(insert(("a", 5.0)))
+        full = fp.take_pending(mode="full")
+        assert sorted(d.row for d in full) == [("a", 5.0), ("b", 2.0)]
+        assert all(d.op is DeltaOp.INSERT for d in full)
+
+    def test_unknown_mode_raises(self):
+        fp, _ = make_fixpoint()
+        with pytest.raises(ExecutionError):
+            fp.take_pending(mode="bogus")
+
+
+class TestPunctuationProtocol:
+    def test_stratum_punct_not_forwarded(self):
+        fp, sink = make_fixpoint()
+        fp.on_punctuation(Punctuation.end_of_stratum(0))
+        assert sink.puncts == []
+
+    def test_final_punct_flushes_state_and_forwards(self):
+        fp, sink = make_fixpoint()
+        fp.receive(insert(("a", 1.0)))
+        fp.receive(insert(("b", 2.0)))
+        fp.on_punctuation(Punctuation.end_of_query(3))
+        assert sorted(sink.rows()) == [("a", 1.0), ("b", 2.0)]
+        assert sink.puncts[0].is_final
+
+
+class TestWhileHandler:
+    def test_handler_controls_admission(self):
+        class MonotoneMin(WhileDeltaHandler):
+            """Admit only strictly-decreasing values per key."""
+
+            def update(self, rel, delta):
+                key = (delta.row[0],)
+                cur = rel.get(key)
+                if cur is None or delta.row[1] < cur[1]:
+                    rel[key] = delta.row
+                    return [insert(delta.row)]
+                return []
+
+        fp, _ = make_fixpoint(while_handler=MonotoneMin())
+        fp.receive(insert(("a", 5.0)))
+        fp.receive(insert(("a", 7.0)))   # worse: rejected
+        fp.receive(insert(("a", 3.0)))   # better: admitted
+        assert [d.row for d in fp.pending] == [("a", 5.0), ("a", 3.0)]
+        assert fp.state[("a",)] == ("a", 3.0)

@@ -1,0 +1,163 @@
+"""Unit tests for filter/project/applyFunction delta propagation."""
+
+import pytest
+
+from repro.common import DeltaOp, delete, insert, replace, update
+from repro.common.punctuation import Punctuation
+from repro.operators import ApplyFunction, Filter, Project
+from repro.udf import udf
+
+from helpers import Capture, wire
+
+
+class TestFilter:
+    def make(self, predicate):
+        sink = Capture()
+        op = Filter(predicate)
+        wire(op, sink)
+        return op, sink
+
+    def test_passes_matching_insert(self):
+        op, sink = self.make(lambda r: r[0] > 1)
+        op.receive(insert((2,)))
+        op.receive(insert((0,)))
+        assert sink.rows() == [(2,)]
+
+    def test_annotation_preserved(self):
+        op, sink = self.make(lambda r: True)
+        op.receive(delete((1,)))
+        op.receive(update((2,), payload=9))
+        assert [d.op for d in sink.deltas] == [DeltaOp.DELETE, DeltaOp.UPDATE]
+        assert sink.deltas[1].payload == 9
+
+    def test_replace_both_pass(self):
+        op, sink = self.make(lambda r: r[0] > 0)
+        op.receive(replace((1,), (2,)))
+        assert sink.deltas[0].op is DeltaOp.REPLACE
+
+    def test_replace_entering_predicate_becomes_insert(self):
+        op, sink = self.make(lambda r: r[0] > 0)
+        op.receive(replace((-1,), (2,)))
+        assert [d.op for d in sink.deltas] == [DeltaOp.INSERT]
+        assert sink.rows() == [(2,)]
+
+    def test_replace_leaving_predicate_becomes_delete(self):
+        op, sink = self.make(lambda r: r[0] > 0)
+        op.receive(replace((1,), (-2,)))
+        assert [d.op for d in sink.deltas] == [DeltaOp.DELETE]
+        assert sink.deltas[0].row == (1,)
+
+    def test_replace_both_fail_dropped(self):
+        op, sink = self.make(lambda r: r[0] > 0)
+        op.receive(replace((-1,), (-2,)))
+        assert sink.deltas == []
+
+    def test_punctuation_forwarded(self):
+        op, sink = self.make(lambda r: False)
+        op.on_punctuation(Punctuation.end_of_stratum(0))
+        assert sink.puncts == [Punctuation.end_of_stratum(0)]
+
+
+class TestProject:
+    def test_row_transform(self):
+        sink = Capture()
+        op = Project(lambda r: (r[0] * 2,))
+        wire(op, sink)
+        op.receive(insert((3, "x")))
+        assert sink.rows() == [(6,)]
+
+    def test_replace_transforms_both_images(self):
+        sink = Capture()
+        op = Project(lambda r: (r[0] + 1,))
+        wire(op, sink)
+        op.receive(replace((1,), (5,)))
+        d = sink.deltas[0]
+        assert d.op is DeltaOp.REPLACE and d.row == (6,) and d.old == (2,)
+
+    def test_update_payload_preserved(self):
+        sink = Capture()
+        op = Project(lambda r: r)
+        wire(op, sink)
+        op.receive(update((1,), payload="E"))
+        assert sink.deltas[0].payload == "E"
+
+
+class TestApplyFunction:
+    def test_scalar_extend(self):
+        @udf()
+        def double(x):
+            return 2 * x
+
+        sink = Capture()
+        op = ApplyFunction(double, arg_fn=lambda r: (r[0],), mode="extend")
+        wire(op, sink)
+        op.receive(insert((4,)))
+        assert sink.rows() == [(4, 8)]
+
+    def test_scalar_replace_mode(self):
+        @udf()
+        def square(x):
+            return x * x
+
+        sink = Capture()
+        op = ApplyFunction(square, arg_fn=lambda r: (r[0],), mode="replace")
+        wire(op, sink)
+        op.receive(insert((3,)))
+        assert sink.rows() == [(9,)]
+
+    def test_table_valued_fanout(self):
+        @udf(table_valued=True)
+        def explode(n):
+            return [(i,) for i in range(n)]
+
+        sink = Capture()
+        op = ApplyFunction(explode, arg_fn=lambda r: (r[0],), mode="replace")
+        wire(op, sink)
+        op.receive(insert((3,)))
+        assert sink.rows() == [(0,), (1,), (2,)]
+
+    def test_table_valued_empty_output(self):
+        @udf(table_valued=True)
+        def nothing(n):
+            return []
+
+        sink = Capture()
+        op = ApplyFunction(nothing, arg_fn=lambda r: (r[0],), mode="replace")
+        wire(op, sink)
+        op.receive(insert((3,)))
+        assert sink.deltas == []
+
+    def test_replace_with_mismatched_fanout_decomposes(self):
+        @udf(table_valued=True)
+        def explode(n):
+            return [(i,) for i in range(n)]
+
+        sink = Capture()
+        op = ApplyFunction(explode, arg_fn=lambda r: (r[0],), mode="replace")
+        wire(op, sink)
+        op.receive(replace((1,), (2,)))
+        ops = [d.op for d in sink.deltas]
+        assert ops == [DeltaOp.DELETE, DeltaOp.INSERT, DeltaOp.INSERT]
+
+    def test_delta_aware_udf_rewrites_annotations(self):
+        def to_update(delta):
+            return [update(delta.row, payload=0.5)]
+
+        sink = Capture()
+        op = ApplyFunction(to_update, arg_fn=lambda r: r, delta_aware=True)
+        wire(op, sink)
+        op.receive(insert((7,)))
+        assert sink.deltas[0].op is DeltaOp.UPDATE
+        assert sink.deltas[0].payload == 0.5
+
+    def test_udf_cost_charged(self):
+        @udf()
+        def f(x):
+            return x
+
+        sink = Capture()
+        op = ApplyFunction(f, arg_fn=lambda r: (r[0],))
+        ctx = wire(op, sink)
+        before = ctx.worker.stratum_usage.cpu
+        op.receive(insert((1,)))
+        assert ctx.worker.stratum_usage.cpu > before

@@ -1,0 +1,88 @@
+"""The Section 5.2 multiplicative-join pre-aggregation (multiply rule)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.optimizer import add_exchanges, lower
+from repro.optimizer.logical import LGroupBy, LJoin, LProject
+from repro.optimizer.planner import push_preagg_through_multiplicative_join
+from repro.rql import RQLSession
+from repro.runtime import QueryExecutor
+
+QUERY = ("SELECT a, sum(x) FROM r, s WHERE r.a = s.b GROUP BY a")
+
+
+def make_cluster():
+    cluster = Cluster(3)
+    # Non key-FK join: both sides have several rows per key.
+    cluster.create_table("r", ["a:Integer", "x:Integer"],
+                         [(i % 4, i) for i in range(40)], "a")
+    cluster.create_table("s", ["b:Integer", "y:Integer"],
+                         [(i % 4, i * 10) for i in range(28)], "b")
+    return cluster
+
+
+def direct_answer():
+    r = [(i % 4, i) for i in range(40)]
+    s = [(i % 4, i * 10) for i in range(28)]
+    out = {}
+    for a, x in r:
+        for b, _ in s:
+            if a == b:
+                out[a] = out.get(a, 0) + x
+    return sorted(out.items())
+
+
+class TestMultiplicativeJoinRewrite:
+    def raw_plan(self, cluster):
+        return RQLSession(cluster, optimize=False).logical_plan(QUERY)
+
+    def test_rewrite_applies(self):
+        plan = self.raw_plan(make_cluster())
+        # The compiled shape is Project(GroupBy(Join)).
+        groupby = plan.children[0]
+        assert isinstance(groupby, LGroupBy)
+        rewritten = push_preagg_through_multiplicative_join(groupby)
+        assert rewritten is not None
+        assert isinstance(rewritten, LProject)
+        join = rewritten.children[0]
+        assert isinstance(join, LJoin)
+        assert all(isinstance(c, LGroupBy) for c in join.children)
+
+    def test_rewritten_plan_gives_exact_answer(self):
+        cluster = make_cluster()
+        plan = self.raw_plan(cluster)
+        groupby = plan.children[0]
+        rewritten = push_preagg_through_multiplicative_join(groupby)
+        # Re-attach the original outer projection's column selection by
+        # executing the rewritten subplan directly (schema matches).
+        physical = lower(add_exchanges(rewritten))
+        result = QueryExecutor(cluster).execute(physical)
+        assert sorted(result.rows) == direct_answer()
+
+    def test_direct_plan_same_answer(self):
+        cluster = make_cluster()
+        session = RQLSession(cluster, optimize=False)
+        result = session.execute(QUERY)
+        assert sorted(result.rows) == direct_answer()
+
+    def test_optimized_session_still_correct(self):
+        cluster = make_cluster()
+        session = RQLSession(cluster)  # optimizer may pick either shape
+        result = session.execute(QUERY)
+        assert sorted(result.rows) == direct_answer()
+
+    def test_rewrite_declined_for_noncomposable(self):
+        cluster = make_cluster()
+        plan = RQLSession(cluster, optimize=False).logical_plan(
+            "SELECT a, min(x) FROM r, s WHERE r.a = s.b GROUP BY a")
+        groupby = plan.children[0]
+        # min has no multiply function: under-counting cannot be repaired.
+        assert push_preagg_through_multiplicative_join(groupby) is None
+
+    def test_rewrite_declined_when_grouping_off_key(self):
+        cluster = make_cluster()
+        plan = RQLSession(cluster, optimize=False).logical_plan(
+            "SELECT y, sum(x) FROM r, s WHERE r.a = s.b GROUP BY y")
+        groupby = plan.children[0]
+        assert push_preagg_through_multiplicative_join(groupby) is None

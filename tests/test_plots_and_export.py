@@ -1,0 +1,76 @@
+"""Tests for ASCII chart rendering and dataset CSV export."""
+
+import pytest
+
+from repro.bench.common import FigureResult, Series
+from repro.bench.plots import bar_chart, line_chart, render
+from repro.cli import load_csv
+from repro.datasets.export import main as export_main
+
+
+class TestLineChart:
+    def test_renders_all_series_glyphs(self):
+        chart = line_chart([Series("a", [1, 2, 3]),
+                            Series("b", [3, 2, 1])])
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_log_scale_annotated(self):
+        chart = line_chart([Series("a", [1, 1000])], log_y=True)
+        assert "log10" in chart
+
+    def test_empty_series_safe(self):
+        assert line_chart([]) == "(no data)"
+        assert line_chart([Series("x", [])]) == "(no data)"
+
+    def test_constant_series_safe(self):
+        chart = line_chart([Series("flat", [5.0, 5.0, 5.0])])
+        assert "flat" in chart
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart([Series("big", [10.0]), Series("small", [1.0])])
+        lines = chart.splitlines()
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("█") > small.count("█")
+
+    def test_ignores_multivalue_series(self):
+        assert bar_chart([Series("s", [1, 2])]) == \
+            "(no single-value series)"
+
+
+class TestRender:
+    def test_mixed_figure(self):
+        fig = FigureResult(
+            figure="F", title="t",
+            series=[Series("curve", [1, 2, 3]),
+                    Series("curve (per-iter)", [1, 1, 1]),
+                    Series("total", [6.0])])
+        out = render(fig)
+        assert "cumulative" in out and "per-iteration" in out
+        assert "totals" in out
+
+
+class TestExport:
+    @pytest.mark.parametrize("dataset,extra", [
+        ("dbpedia", ["--vertices", "200"]),
+        ("twitter", ["--vertices", "300"]),
+        ("geo", ["--points", "50"]),
+        ("lineitem", ["--rows", "40"]),
+    ])
+    def test_roundtrip_through_cli_loader(self, tmp_path, dataset, extra):
+        out = tmp_path / f"{dataset}.csv"
+        rc = export_main([dataset, str(out)] + extra)
+        assert rc == 0
+        schema, rows = load_csv(str(out))
+        assert rows, dataset
+        assert all(":" in spec for spec in schema)
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        export_main(["geo", str(a), "--points", "30", "--seed", "5"])
+        export_main(["geo", str(b), "--points", "30", "--seed", "5"])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,160 @@
+"""Unit tests for the RQL lexer and parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.rql import ast
+from repro.rql.lexer import TokenType, tokenize
+from repro.rql.parser import parse
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select Select SELECT")
+        assert all(t.value == "SELECT" for t in toks[:3])
+        assert all(t.type is TokenType.KEYWORD for t in toks[:3])
+
+    def test_identifiers_preserve_case(self):
+        toks = tokenize("PRAgg prBucket")
+        assert [t.value for t in toks[:2]] == ["PRAgg", "prBucket"]
+
+    def test_numbers(self):
+        toks = tokenize("42 0.85 1.0")
+        assert toks[0].value == 42 and isinstance(toks[0].value, int)
+        assert toks[1].value == 0.85
+        assert toks[2].value == 1.0
+
+    def test_strings_with_escape(self):
+        toks = tokenize("'hello' 'it''s'")
+        assert toks[0].value == "hello"
+        assert toks[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        toks = tokenize("SELECT -- comment here\n x")
+        assert toks[1].value == "x"
+
+    def test_two_char_symbols(self):
+        toks = tokenize("<= >= <> !=")
+        assert [t.value for t in toks[:4]] == ["<=", ">=", "<>", "!="]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+
+class TestSelectParsing:
+    def test_simple_aggregation_query(self):
+        q = parse("SELECT sum(tax), count(*) FROM lineitem "
+                  "WHERE linenumber > 1")
+        assert isinstance(q, ast.Select)
+        assert len(q.items) == 2
+        assert q.items[0].expr == ast.Call("sum", (ast.Name(("tax",)),))
+        assert q.items[1].expr.star
+        assert q.from_[0].name == "lineitem"
+        assert isinstance(q.where, ast.Binary)
+
+    def test_aliases(self):
+        q = parse("SELECT srcId, 1.0 AS pr FROM graph")
+        assert q.items[1].alias == "pr"
+        assert q.items[1].expr == ast.NumberLit(1.0)
+
+    def test_implicit_alias(self):
+        q = parse("SELECT a b FROM t u")
+        assert q.items[0].alias == "b"
+        assert q.from_[0].alias == "u"
+
+    def test_group_by(self):
+        q = parse("SELECT g, sum(v) FROM t GROUP BY g")
+        assert q.group_by == (ast.Name(("g",)),)
+
+    def test_nested_subquery(self):
+        q = parse("SELECT x FROM (SELECT y FROM t) sub")
+        assert q.from_[0].subquery is not None
+        assert q.from_[0].alias == "sub"
+
+    def test_qualified_names(self):
+        q = parse("SELECT graph.srcId FROM graph, PR "
+                  "WHERE graph.srcId = PR.srcId")
+        assert q.items[0].expr == ast.Name(("graph", "srcId"))
+        assert q.where.left == ast.Name(("graph", "srcId"))
+
+    def test_field_expansion(self):
+        q = parse("SELECT PRAgg(srcId, pr).{nbr, prDiff} FROM graph")
+        item = q.items[0].expr
+        assert isinstance(item, ast.FieldExpansion)
+        assert item.call.func == "PRAgg"
+        assert item.fields == ("nbr", "prDiff")
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT 0.15 + 0.85 * sum(prDiff) FROM t")
+        expr = q.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_boolean_precedence(self):
+        q = parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND NOT c = 3")
+        assert q.where.op == "or"
+        assert q.where.right.op == "and"
+
+    def test_unary_minus(self):
+        q = parse("SELECT -1, srcId FROM graph")
+        assert q.items[0].expr == ast.Unary("-", ast.NumberLit(1))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT x FROM t bogus extra ,")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT x WHERE y = 1")
+
+
+class TestWithRecursiveParsing:
+    PAGERANK = """
+        WITH PR (srcId, pr) AS            -- Base case initializes ...
+        ( SELECT srcId, 1.0 AS pr FROM graph  -- PageRank to 1
+        ) UNION UNTIL FIXPOINT BY srcId (     -- Recursive case ...
+          SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+          FROM ( SELECT PRAgg(srcId, pr).{nbr, prDiff}
+                 FROM graph, PR
+                 WHERE graph.srcId = PR.srcId GROUP BY srcId)
+          GROUP BY nbr)
+    """
+
+    def test_pagerank_listing(self):
+        q = parse(self.PAGERANK)
+        assert isinstance(q, ast.WithRecursive)
+        assert q.name == "PR"
+        assert q.columns == ("srcId", "pr")
+        assert q.fixpoint_key == "srcId"
+        assert not q.union_all
+        assert isinstance(q.base, ast.Select)
+        inner = q.recursive.from_[0].subquery
+        assert inner is not None
+        assert {t.name for t in inner.from_} == {"graph", "PR"}
+
+    def test_union_all(self):
+        q = parse("WITH SP (v, d) AS (SELECT v, 0 FROM s) "
+                  "UNION ALL UNTIL FIXPOINT BY v "
+                  "(SELECT v, d FROM SP)")
+        assert q.union_all
+
+    def test_columns_after_as_tolerated(self):
+        """The paper's Listing 3 writes ``WITH KM AS (cid, x, y) AS (...)``
+        -- we accept the column list on either side of AS."""
+        q = parse("WITH KM AS (SELECT cid, x, y FROM c) "
+                  "UNION ALL UNTIL FIXPOINT BY cid (SELECT cid, x, y FROM KM)")
+        assert q.columns == ()
+
+    def test_missing_fixpoint_rejected(self):
+        with pytest.raises(ParseError):
+            parse("WITH R (x) AS (SELECT x FROM t) UNION (SELECT x FROM R)")

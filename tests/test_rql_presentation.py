@@ -1,0 +1,78 @@
+"""ORDER BY / LIMIT presentation clauses."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ParseError, TypeCheckError
+from repro.rql import RQLSession, parse
+
+
+def make_session():
+    cluster = Cluster(3)
+    cluster.create_table("t", ["id:Integer", "g:Integer", "v:Double"],
+                         [(i, i % 3, float((i * 7) % 10)) for i in range(20)],
+                         "id")
+    return RQLSession(cluster)
+
+
+class TestParsing:
+    def test_order_by_defaults_ascending(self):
+        q = parse("SELECT a FROM t ORDER BY a")
+        assert q.order_by[0].descending is False
+
+    def test_order_by_desc_and_multiple(self):
+        q = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert q.order_by[0].descending is True
+        assert q.order_by[1].descending is False
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+
+class TestExecution:
+    def test_order_by_ascending(self):
+        session = make_session()
+        result = session.execute("SELECT id, v FROM t ORDER BY v")
+        values = [r[1] for r in result.rows]
+        assert values == sorted(values)
+
+    def test_order_by_descending(self):
+        session = make_session()
+        result = session.execute("SELECT id, v FROM t ORDER BY v DESC")
+        values = [r[1] for r in result.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_by_multiple_keys(self):
+        session = make_session()
+        result = session.execute(
+            "SELECT g, id FROM t ORDER BY g, id DESC")
+        assert result.rows == sorted(result.rows,
+                                     key=lambda r: (r[0], -r[1]))
+
+    def test_limit_truncates(self):
+        session = make_session()
+        result = session.execute("SELECT id FROM t ORDER BY id LIMIT 3")
+        assert result.rows == [(0,), (1,), (2,)]
+
+    def test_top_n_aggregate(self):
+        session = make_session()
+        result = session.execute(
+            "SELECT g, count(*) FROM t GROUP BY g ORDER BY g DESC LIMIT 2")
+        assert [r[0] for r in result.rows] == [2, 1]
+
+    def test_order_by_in_subquery_rejected(self):
+        session = make_session()
+        with pytest.raises(TypeCheckError):
+            session.execute(
+                "SELECT id FROM (SELECT id FROM t ORDER BY id) s")
+
+    def test_unknown_order_column_rejected(self):
+        from repro.common.errors import SchemaError
+
+        session = make_session()
+        with pytest.raises(SchemaError):
+            session.execute("SELECT id FROM t ORDER BY nope")

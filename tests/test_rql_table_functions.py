@@ -1,0 +1,81 @@
+"""Table-valued UDFs in RQL: the dependent join (Section 4.2)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.rql import RQLSession
+from repro.udf import udf
+
+
+@udf(in_types=["Integer"], out_types=["part:Integer", "half:Integer"],
+     table_valued=True, selectivity=2.0)
+def split_range(n):
+    """Emit (i, i // 2) for each i below n — a fan-out TVF."""
+    return [(i, i // 2) for i in range(n)]
+
+
+@udf(in_types=["Varchar"], out_types=["word:Varchar"], table_valued=True)
+def tokenize(text):
+    return [(w,) for w in text.split()]
+
+
+def make_session():
+    cluster = Cluster(3)
+    cluster.create_table("t", ["id:Integer", "n:Integer", "s:Varchar"],
+                         [(1, 3, "a b"), (2, 2, "c"), (3, 0, "d e f")],
+                         "id")
+    session = RQLSession(cluster)
+    session.register(split_range)
+    session.register(tokenize)
+    return session
+
+
+class TestDependentJoin:
+    def test_fanout_expansion(self):
+        session = make_session()
+        result = session.execute(
+            "SELECT id, split_range(n).{part, half} FROM t")
+        expected = sorted(
+            (rid, i, i // 2)
+            for rid, n in ((1, 3), (2, 2), (3, 0)) for i in range(n))
+        assert sorted(result.rows) == expected
+
+    def test_zero_output_rows_drop_input(self):
+        session = make_session()
+        result = session.execute("SELECT id, split_range(n).{part} FROM t")
+        assert all(row[0] != 3 for row in result.rows)  # n=0 emits nothing
+
+    def test_string_tokenizer(self):
+        session = make_session()
+        result = session.execute("SELECT id, tokenize(s).{word} FROM t")
+        expected = sorted([(1, "a"), (1, "b"), (2, "c"),
+                           (3, "d"), (3, "e"), (3, "f")])
+        assert sorted(result.rows) == expected
+
+    def test_multiple_tvfs_in_one_select(self):
+        """The paper: 'this operator even supports calls to multiple
+        table-valued functions in the same operation'."""
+        session = make_session()
+        result = session.execute(
+            "SELECT id, split_range(n).{part}, tokenize(s).{word} FROM t")
+        # Cross product of both expansions per input row.
+        row1 = [r for r in result.rows if r[0] == 1]
+        assert sorted(row1) == sorted(
+            (1, i, w) for i in range(3) for w in ("a", "b"))
+
+    def test_tvf_feeding_aggregation(self):
+        session = make_session()
+        result = session.execute(
+            "SELECT half, count(*) FROM "
+            "(SELECT id, split_range(n).{part, half} FROM t) sub "
+            "GROUP BY half")
+        counts = dict(result.rows)
+        # parts: row1 -> 0,1,2 (halves 0,0,1); row2 -> 0,1 (halves 0,0)
+        assert counts == {0: 4, 1: 1}
+
+    def test_filter_on_expanded_column(self):
+        session = make_session()
+        result = session.execute(
+            "SELECT part FROM (SELECT id, split_range(n).{part} FROM t) s "
+            "WHERE part > 0")
+        assert sorted(result.rows) == [(1,), (1,), (2,)]

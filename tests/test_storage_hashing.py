@@ -1,0 +1,128 @@
+"""Unit + property tests for stable hashing and the consistent-hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ReproError
+from repro.storage import HashRing, stable_hash
+
+keys = st.one_of(st.integers(), st.text(max_size=20), st.booleans(),
+                 st.tuples(st.integers(), st.integers()))
+
+
+class TestStableHash:
+    @given(keys)
+    def test_deterministic(self, key):
+        assert stable_hash(key) == stable_hash(key)
+
+    def test_int_float_key_equivalence(self):
+        """SQL key semantics: partitioning must not split 1 and 1.0."""
+        assert stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(-3) == stable_hash(-3.0)
+
+    def test_distinct_types_distinct_hashes(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_none_hashes(self):
+        assert stable_hash(None) == stable_hash(None)
+
+    def test_tuple_hash_order_sensitive(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    @given(st.integers())
+    def test_64_bit_range(self, key):
+        assert 0 <= stable_hash(key) < (1 << 64)
+
+
+class TestHashRing:
+    def test_requires_nodes(self):
+        with pytest.raises(ReproError):
+            HashRing([])
+
+    def test_primary_is_first_replica(self):
+        ring = HashRing(range(4))
+        for k in range(50):
+            assert ring.primary(k) == ring.replicas(k, 3)[0]
+
+    def test_replicas_distinct(self):
+        ring = HashRing(range(5))
+        for k in range(50):
+            reps = ring.replicas(k, 3)
+            assert len(reps) == len(set(reps)) == 3
+
+    def test_replication_clipped_to_cluster_size(self):
+        ring = HashRing(range(2))
+        assert len(ring.replicas("k", 5)) == 2
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ReproError):
+            ring.add_node(0)
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(ReproError):
+            HashRing([0]).remove_node(7)
+
+    def test_balance(self):
+        """No node should own a wildly disproportionate share of keys."""
+        ring = HashRing(range(8), virtual_nodes=128)
+        counts = {n: 0 for n in range(8)}
+        total = 4000
+        for k in range(total):
+            counts[ring.primary(k)] += 1
+        for n, c in counts.items():
+            assert 0.4 * total / 8 < c < 2.2 * total / 8, (n, counts)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_monotonicity_on_node_removal(self, key):
+        """Removing a node only moves keys that node owned (consistency)."""
+        ring = HashRing(range(6))
+        before = ring.primary(key)
+        ring.remove_node(3)
+        after = ring.primary(key)
+        if before != 3:
+            assert after == before
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_failed_primary_falls_to_old_replica(self, key):
+        """The takeover node for a key was already in its replica set."""
+        ring = HashRing(range(6))
+        replicas_before = ring.replicas(key, 3)
+        primary = replicas_before[0]
+        ring.remove_node(primary)
+        assert ring.primary(key) == replicas_before[1]
+
+
+class TestRingSnapshot:
+    def test_snapshot_isolated_from_ring_changes(self):
+        ring = HashRing(range(4))
+        snap = ring.snapshot()
+        owners_before = {k: snap.primary(k) for k in range(100)}
+        ring.remove_node(2)
+        ring.add_node(9)
+        assert {k: snap.primary(k) for k in range(100)} == owners_before
+
+    def test_mark_failed_reroutes(self):
+        snap = HashRing(range(4)).snapshot()
+        victims = [k for k in range(200) if snap.primary(k) == 2]
+        assert victims, "expected node 2 to own some keys"
+        snap.mark_failed(2)
+        assert 2 not in snap.live_nodes()
+        for k in victims:
+            assert snap.primary(k) != 2
+
+    def test_original_replicas_ignore_failure(self):
+        snap = HashRing(range(4)).snapshot()
+        orig = snap.original_replicas("some-key", 3)
+        snap.mark_failed(orig[0])
+        assert snap.original_replicas("some-key", 3) == orig
+
+    def test_all_failed_raises(self):
+        snap = HashRing([0]).snapshot()
+        snap.mark_failed(0)
+        with pytest.raises(ReproError):
+            snap.primary("k")

@@ -1,0 +1,233 @@
+"""Delta-rule correctness of the built-in aggregates.
+
+The central invariant (property-tested below): folding any legal sequence of
+insert/delete/replace deltas through an aggregator's ``agg_state`` yields the
+same ``agg_result`` as recomputing the aggregate over the final multiset.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import delete, insert, replace, update
+from repro.common.errors import UDFError
+from repro.udf.builtins import (
+    ArgMax,
+    ArgMin,
+    Avg,
+    AvgFinal,
+    CollectList,
+    Count,
+    Max,
+    Min,
+    Sum,
+)
+
+
+def run(agg, ops):
+    """Fold (delta, value, old_value) triples through an aggregator."""
+    state = agg.init_state()
+    for delta, value, old in ops:
+        state = agg.agg_state(state, delta, value, old)
+    return agg.agg_result(state)
+
+
+def fold_values(agg, values):
+    return run(agg, [(insert((v,)), v, None) for v in values])
+
+
+class TestSum:
+    def test_insert_delete(self):
+        assert run(Sum(), [(insert((3,)), 3, None), (insert((4,)), 4, None),
+                           (delete((3,)), 3, None)]) == 4
+
+    def test_empty_group_is_null(self):
+        agg = Sum()
+        assert run(agg, [(insert((3,)), 3, None), (delete((3,)), 3, None)]) is None
+
+    def test_replace(self):
+        assert run(Sum(), [(insert((3,)), 3, None),
+                           (replace((3,), (10,)), 10, 3)]) == 10
+
+    def test_update_adjusts(self):
+        assert run(Sum(), [(insert((3,)), 3, None),
+                           (update((0,), payload=2.5), None, None)]) == 5.5
+
+    def test_update_rejects_non_numeric(self):
+        with pytest.raises(UDFError):
+            run(Sum(), [(update((0,), payload="x"), None, None)])
+
+    def test_null_inputs_skipped(self):
+        assert run(Sum(), [(insert((None,)), None, None),
+                           (insert((2,)), 2, None)]) == 2
+
+    def test_multiply_compensation(self):
+        assert Sum.multiply(5, 3) == 15
+        assert Sum.multiply(None, 3) is None
+
+
+class TestCount:
+    def test_count_star_counts_nulls(self):
+        assert fold_values(Count(count_star=True), [1, None, 2]) == 3
+
+    def test_count_expr_skips_nulls(self):
+        assert fold_values(Count(count_star=False), [1, None, 2]) == 2
+
+    def test_delete(self):
+        assert run(Count(), [(insert((1,)), 1, None),
+                             (delete((1,)), 1, None)]) == 0
+
+    def test_replace_null_transitions(self):
+        agg = Count(count_star=False)
+        assert run(agg, [(insert((1,)), 1, None),
+                         (replace((1,), (None,)), None, 1)]) == 0
+
+    def test_final_aggregator_sums_partials(self):
+        assert isinstance(Count().final_aggregator(), Sum)
+
+
+class TestMinMax:
+    def test_delete_of_minimum_reveals_next(self):
+        """The paper's motivating subtlety for buffered min state."""
+        agg = Min()
+        state = agg.init_state()
+        for v in (5, 3, 8):
+            state = agg.agg_state(state, insert((v,)), v)
+        assert agg.agg_result(state) == 3
+        state = agg.agg_state(state, delete((3,)), 3)
+        assert agg.agg_result(state) == 5
+
+    def test_max(self):
+        assert fold_values(Max(), [5, 3, 8]) == 8
+
+    def test_duplicates_survive_one_delete(self):
+        agg = Min()
+        state = agg.init_state()
+        for v in (2, 2, 7):
+            state = agg.agg_state(state, insert((v,)), v)
+        state = agg.agg_state(state, delete((2,)), 2)
+        assert agg.agg_result(state) == 2
+
+    def test_delete_absent_raises(self):
+        agg = Min()
+        with pytest.raises(UDFError):
+            agg.agg_state(agg.init_state(), delete((1,)), 1)
+
+    def test_update_rejected(self):
+        with pytest.raises(UDFError):
+            run(Min(), [(update((1,), payload=1), 1, None)])
+
+    def test_empty_is_null(self):
+        assert fold_values(Min(), []) is None
+
+
+class TestAvg:
+    def test_basic(self):
+        assert fold_values(Avg(), [2, 4]) == 3.0
+
+    def test_delete(self):
+        assert run(Avg(), [(insert((2,)), 2, None), (insert((4,)), 4, None),
+                           (delete((4,)), 4, None)]) == 2.0
+
+    def test_pre_final_composition_matches_direct(self):
+        """avg == final(union of partial (sum,count) pairs) — Section 3.3."""
+        groups = [[1.0, 2.0, 3.0], [10.0], [4.0, 4.0]]
+        direct = fold_values(Avg(), [v for g in groups for v in g])
+        pre = Avg().pre_aggregator()
+        partials = [fold_values(pre, g) for g in groups]
+        final = Avg().final_aggregator()
+        assert isinstance(final, AvgFinal)
+        composed = fold_values(final, partials)
+        assert composed == pytest.approx(direct)
+
+    def test_empty_is_null(self):
+        assert fold_values(Avg(), []) is None
+
+
+class TestArgMinMax:
+    def test_argmin_returns_identifier(self):
+        pairs = [("a", 5.0), ("b", 2.0), ("c", 9.0)]
+        assert fold_values(ArgMin(), pairs) == ("b", 2.0)
+
+    def test_argmax(self):
+        pairs = [("a", 5.0), ("b", 2.0)]
+        assert fold_values(ArgMax(), pairs) == ("a", 5.0)
+
+    def test_tie_breaks_by_id(self):
+        pairs = [("z", 1.0), ("a", 1.0)]
+        assert fold_values(ArgMin(), pairs) == ("a", 1.0)
+
+    def test_delete_of_winner(self):
+        agg = ArgMin()
+        state = agg.init_state()
+        for p in [(1, 5.0), (2, 2.0)]:
+            state = agg.agg_state(state, insert(p), p)
+        state = agg.agg_state(state, delete((2, 2.0)), (2, 2.0))
+        assert agg.agg_result(state) == (1, 5.0)
+
+
+class TestCollect:
+    def test_collects_sorted(self):
+        assert fold_values(CollectList(), [3, 1, 2]) == (1, 2, 3)
+
+    def test_delete_removes_one_occurrence(self):
+        agg = CollectList()
+        state = agg.init_state()
+        for v in (1, 1, 2):
+            state = agg.agg_state(state, insert((v,)), v)
+        state = agg.agg_state(state, delete((1,)), 1)
+        assert agg.agg_result(state) == (1, 2)
+
+    def test_delete_absent_raises(self):
+        agg = CollectList()
+        with pytest.raises(UDFError):
+            agg.agg_state(agg.init_state(), delete((1,)), 1)
+
+
+# ---------------------------------------------------------------------------
+# Property: delta folding == recomputation over the surviving multiset.
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def delta_script(draw):
+    """A legal history: inserts, deletes of live values, replaces."""
+    live = []
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0 or not live:
+            v = draw(values)
+            ops.append((insert((v,)), v, None))
+            live.append(v)
+        elif choice == 1:
+            v = live.pop(draw(st.integers(min_value=0, max_value=len(live) - 1)))
+            ops.append((delete((v,)), v, None))
+        else:
+            idx = draw(st.integers(min_value=0, max_value=len(live) - 1))
+            old = live[idx]
+            new = draw(values)
+            live[idx] = new
+            ops.append((replace((old,), (new,)), new, old))
+    return ops, live
+
+
+@pytest.mark.parametrize("agg_cls,reference", [
+    (Sum, lambda vs: sum(vs) if vs else None),
+    (Count, lambda vs: len(vs)),
+    (Min, lambda vs: min(vs) if vs else None),
+    (Max, lambda vs: max(vs) if vs else None),
+    (Avg, lambda vs: sum(vs) / len(vs) if vs else None),
+    (CollectList, lambda vs: tuple(sorted(vs)) if vs else None),
+])
+@given(script=delta_script())
+def test_delta_folding_equals_recomputation(agg_cls, reference, script):
+    ops, survivors = script
+    got = run(agg_cls(), ops)
+    expected = reference(survivors)
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected)
+    else:
+        assert got == expected

@@ -1,0 +1,120 @@
+"""Unit tests for the Hadoop-in-REX wrapper UDFs/UDAs and message sizes."""
+
+import pytest
+
+from repro.common import delete, insert, replace, update
+from repro.common.errors import UDFError
+from repro.hadoop.jobs import (
+    LineitemFilterMapper,
+    PRApplyReducer,
+    PRJoinReducer,
+    SPOfferMinReducer,
+    SumCountReducer,
+)
+from repro.hadoop.wrap import MapWrap, MapWrapJoinHandler, ReduceWrapAgg
+
+
+class TestMapWrap:
+    def test_maps_to_pairs(self):
+        fn = MapWrap(LineitemFilterMapper())
+        assert fn(None, (3, 0.05)) == [(1, (0.05, 1))]
+        assert fn(None, (1, 0.05)) == []  # filtered out
+
+    def test_table_valued(self):
+        assert MapWrap(LineitemFilterMapper()).table_valued
+
+    def test_entry_cost_includes_format(self):
+        from repro.cluster import CostModel
+        from repro.hadoop.wrap import _wrap_call_cost, _wrap_entry_cost
+
+        cm = CostModel()
+        assert _wrap_entry_cost(cm) == \
+            _wrap_call_cost(cm) + cm.wrap_format_cost
+
+
+class TestReduceWrapAgg:
+    def make(self, reducer=SumCountReducer):
+        return ReduceWrapAgg(reducer)
+
+    def test_collect_and_reduce(self):
+        agg = self.make()
+        state = agg.init_state()
+        for pair in [(0.1, 1), (0.2, 1)]:
+            state = agg.agg_state(state, insert(pair), pair)
+        total, count = agg.agg_result(state)
+        assert total == pytest.approx(0.3)
+        assert count == 2
+
+    def test_empty_state_yields_null(self):
+        agg = self.make()
+        assert agg.agg_result(agg.init_state()) is None
+
+    def test_delete_removes_value(self):
+        agg = self.make()
+        state = agg.init_state()
+        state = agg.agg_state(state, insert((0.1, 1)), (0.1, 1))
+        state = agg.agg_state(state, delete((0.1, 1)), (0.1, 1))
+        assert agg.agg_result(state) is None
+
+    def test_delete_absent_raises(self):
+        agg = self.make()
+        with pytest.raises(UDFError):
+            agg.agg_state(agg.init_state(), delete((0.1, 1)), (0.1, 1))
+
+    def test_replace_swaps_value(self):
+        agg = self.make()
+        state = agg.init_state()
+        state = agg.agg_state(state, insert((0.1, 1)), (0.1, 1))
+        state = agg.agg_state(state, replace((0.1, 1), (0.5, 1)),
+                              (0.5, 1), (0.1, 1))
+        total, count = agg.agg_result(state)
+        assert total == pytest.approx(0.5)
+
+    def test_update_deltas_rejected(self):
+        agg = self.make()
+        with pytest.raises(UDFError):
+            agg.agg_state(agg.init_state(), update((1,), payload=1), None)
+
+    def test_min_reducer(self):
+        agg = ReduceWrapAgg(SPOfferMinReducer)
+        state = agg.init_state()
+        for d in (5.0, 2.0, 9.0):
+            state = agg.agg_state(state, insert((d,)), d)
+        assert agg.agg_result(state) == 2.0
+
+
+class TestMapWrapJoinHandler:
+    def test_reduce_side_join_logic(self):
+        handler = MapWrapJoinHandler(PRJoinReducer())
+        left = [(1, 10), (1, 11)]  # two out-edges of vertex 1
+        right = []
+        out = handler.update(left, right, insert((1, 2.0)), side=1)
+        rows = sorted(d.row for d in out)
+        assert rows == [(10, 1.0), (11, 1.0)]  # rank 2.0 split over 2 edges
+        assert right == [(1, 2.0)]             # bucket refined in place
+
+    def test_bucket_overwritten_on_next_delta(self):
+        handler = MapWrapJoinHandler(PRJoinReducer())
+        left = [(1, 10)]
+        right = []
+        handler.update(left, right, insert((1, 2.0)), side=1)
+        handler.update(left, right, insert((1, 4.0)), side=1)
+        assert right == [(1, 4.0)]
+
+    def test_no_edges_no_output(self):
+        handler = MapWrapJoinHandler(PRJoinReducer())
+        assert handler.update([], [], insert((1, 2.0)), side=1) == []
+
+
+class TestHadoopReducerUnits:
+    def test_pr_apply_reducer_damping(self):
+        out = list(PRApplyReducer().reduce(7, [0.5, 0.5]))
+        assert out == [(7, 0.15 + 0.85 * 1.0)]
+
+    def test_pr_join_reducer_accepts_edge_or_list_payloads(self):
+        tagged = [("A", 10), ("A", [11, 12]), ("R", 3.0)]
+        out = sorted(PRJoinReducer().reduce(1, tagged))
+        assert out == [(10, 1.0), (11, 1.0), (12, 1.0)]
+
+    def test_pr_join_reducer_without_rank_is_silent(self):
+        assert list(PRJoinReducer().reduce(1, [("A", 10)])) == []
