@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import QueryMetrics
-from repro.common.deltas import Delta, DeltaOp, update
+from repro.common.deltas import Delta, DeltaOp
 from repro.runtime import (
     ExecOptions,
     PFeedback,
@@ -61,6 +61,21 @@ class PRAgg(JoinDeltaHandler):
     def __init__(self, tol: float = 0.01):
         super().__init__()
         self.tol = tol
+        self._nbrs: Dict[int, list] = {}
+
+    def _neighbour_rows(self, left_bucket) -> list:
+        """Memoized ``(destId,)`` rows per edge bucket.
+
+        The edge relation is immutable once scanned (its bucket only ever
+        grows during the initial load), so the projected neighbour tuples
+        are cached per bucket, keyed by the bucket's identity, and rebuilt
+        whenever the bucket has grown.
+        """
+        nbrs = self._nbrs.get(id(left_bucket))
+        if nbrs is None or len(nbrs) != len(left_bucket):
+            nbrs = [(edge[1],) for edge in left_bucket]
+            self._nbrs[id(left_bucket)] = nbrs
+        return nbrs
 
     def update(self, left_bucket, right_bucket, delta, side):
         page, pr = delta.row[0], delta.row[1]
@@ -74,10 +89,12 @@ class PRAgg(JoinDeltaHandler):
         if abs(diff) <= threshold or diff == 0.0 or not left_bucket:
             return []
         share = diff / len(left_bucket)
-        return [update((edge[1],), payload=share) for edge in left_bucket]
+        make, upd = Delta, DeltaOp.UPDATE
+        return [make(upd, t, payload=share)
+                for t in self._neighbour_rows(left_bucket)]
 
 
-class PRAggFull(JoinDeltaHandler):
+class PRAggFull(PRAgg):
     """No-delta variant: re-emits every page's full contribution each
     stratum (paired with a group-by that re-aggregates from scratch)."""
 
@@ -92,7 +109,9 @@ class PRAggFull(JoinDeltaHandler):
         if not left_bucket:
             return []
         share = pr / len(left_bucket)
-        return [update((edge[1],), payload=share) for edge in left_bucket]
+        make, upd = Delta, DeltaOp.UPDATE
+        return [make(upd, t, payload=share)
+                for t in self._neighbour_rows(left_bucket)]
 
 
 class PRFixpointHandler(WhileDeltaHandler):

@@ -1,0 +1,201 @@
+"""Wall-clock microbenchmark: per-tuple vs batch-vectorized execution.
+
+Everything else in :mod:`repro.bench` measures *simulated* time — the cost
+model's account of what the paper's cluster would do.  This harness measures
+the other axis: how long the simulator itself takes on this machine's
+Python interpreter, with the batch-vectorized delta pipeline on and off.
+
+Each workload (PageRank, SSSP, K-means) is run twice on identically-built
+clusters: once with ``ExecOptions(batch=False)`` (one virtual ``push`` per
+delta) and once with ``ExecOptions(batch=True)`` (operators move
+``List[Delta]`` batches).  The harness asserts the two runs' simulated
+metrics are identical — same seconds, bytes, delta counts, strata — before
+reporting wall-clock seconds, tuples/sec, and speedup, so a reported
+speedup can never come from doing different simulated work.
+
+Run it with::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --out BENCH_1.json
+
+``--smoke`` shrinks the datasets for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.algorithms import run_kmeans, run_pagerank, run_sssp
+from repro.algorithms.sssp import make_start_table
+from repro.bench.common import fresh_cluster, speedup
+from repro.cluster.metrics import QueryMetrics
+from repro.datasets import dbpedia_like, geo_points, sample_centroids
+from repro.runtime.executor import ExecOptions
+
+GRAPH_SCHEMA = ["srcId:Integer", "destId:Integer"]
+
+
+def _graph_cluster(n_vertices: int, degree: float, nodes: int, seed: int):
+    edges = dbpedia_like(n_vertices, avg_out_degree=degree, seed=seed)
+    cluster = fresh_cluster(nodes)
+    cluster.create_table("graph", GRAPH_SCHEMA, edges, "srcId",
+                         replication=2)
+    return cluster
+
+
+def _pagerank_setup(n_vertices: int, degree: float, nodes: int, seed: int):
+    cluster = _graph_cluster(n_vertices, degree, nodes, seed)
+    return lambda options: run_pagerank(cluster, mode="delta", tol=0.01,
+                                        options=options)[1]
+
+
+def _sssp_setup(n_vertices: int, degree: float, nodes: int, seed: int):
+    cluster = _graph_cluster(n_vertices, degree, nodes, seed)
+    make_start_table(cluster, 0)
+    return lambda options: run_sssp(cluster, options=options)[1]
+
+
+def _kmeans_setup(n_points: int, k: int, nodes: int, seed: int):
+    points = geo_points(n_points, n_clusters=k, seed=seed)
+    centroids = sample_centroids(points, k, seed=seed + 1)
+    cluster = fresh_cluster(nodes)
+    cluster.create_table("points", ["pid:Integer", "x:Double", "y:Double"],
+                         points, None)
+    cluster.create_table("centroids0", ["cid:Integer", "x:Double", "y:Double"],
+                         centroids, "cid")
+    return lambda options: run_kmeans(cluster, options=options)[1]
+
+
+def _metrics_fingerprint(m: QueryMetrics) -> tuple:
+    """Everything the simulator decides: must match bit-for-bit."""
+    return (
+        m.num_iterations,
+        tuple((it.seconds, it.bytes_sent, it.delta_count,
+               it.tuples_processed, it.mutable_size)
+              for it in m.iterations),
+        m.total_seconds(),
+    )
+
+
+def _workloads(smoke: bool, nodes: int, seed: int
+               ) -> List[Tuple[str, Callable]]:
+    if smoke:
+        pr_n, pr_deg = 200, 4.0
+        ss_n, ss_deg = 200, 4.0
+        km_n, km_k = 300, 4
+    else:
+        pr_n, pr_deg = 3000, 12.0
+        ss_n, ss_deg = 3000, 12.0
+        km_n, km_k = 3000, 8
+    return [
+        ("pagerank", lambda: _pagerank_setup(pr_n, pr_deg, nodes, seed)),
+        ("sssp", lambda: _sssp_setup(ss_n, ss_deg, nodes, seed)),
+        ("kmeans", lambda: _kmeans_setup(km_n, km_k, nodes, seed)),
+    ]
+
+
+def _time_run(make_runner: Callable, batch: bool
+              ) -> Tuple[float, QueryMetrics]:
+    """Build a fresh cluster (untimed), then time one query execution.
+
+    Setup garbage is collected before the timer starts and the collector
+    is paused inside the timed region (both modes identically), so cluster
+    construction debt is not billed to whichever mode happens to trip a
+    generational collection first.
+    """
+    runner = make_runner()
+    options = ExecOptions(batch=batch)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        metrics = runner(options)
+        wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return wall, metrics
+
+
+def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
+                  repeats: int = 1) -> Dict:
+    """Run every workload in both modes; returns the BENCH_1 payload."""
+    results: Dict = {
+        "benchmark": "wallclock-batch-vs-per-tuple",
+        "smoke": smoke,
+        "nodes": nodes,
+        "workloads": {},
+    }
+    for name, make_runner in _workloads(smoke, nodes, seed):
+        # Interleave the two modes (alternating which goes first) so any
+        # monotone within-process drift — allocator growth, cache churn —
+        # penalizes both modes equally rather than whichever ran last.
+        runs_tuple = []
+        runs_batch = []
+        for r in range(repeats):
+            order = (False, True) if r % 2 == 0 else (True, False)
+            for batch in order:
+                run = _time_run(make_runner, batch=batch)
+                (runs_batch if batch else runs_tuple).append(run)
+        per_tuple_wall = min(wall for wall, _ in runs_tuple)
+        batch_wall = min(wall for wall, _ in runs_batch)
+        m_tuple = runs_tuple[0][1]
+        m_batch = runs_batch[0][1]
+        fp_tuple = _metrics_fingerprint(m_tuple)
+        fp_batch = _metrics_fingerprint(m_batch)
+        if fp_tuple != fp_batch:
+            raise AssertionError(
+                f"{name}: simulated metrics diverge between per-tuple and "
+                f"batch modes\nper-tuple: {fp_tuple}\nbatch:     {fp_batch}")
+        tuples = sum(it.tuples_processed for it in m_batch.iterations)
+        results["workloads"][name] = {
+            "per_tuple_wall_seconds": round(per_tuple_wall, 4),
+            "batch_wall_seconds": round(batch_wall, 4),
+            "speedup": round(speedup(per_tuple_wall, batch_wall), 3),
+            "tuples_processed": tuples,
+            "per_tuple_tuples_per_sec": round(tuples / per_tuple_wall)
+            if per_tuple_wall > 0 else None,
+            "batch_tuples_per_sec": round(tuples / batch_wall)
+            if batch_wall > 0 else None,
+            "simulated_seconds": m_batch.total_seconds(),
+            "strata": m_batch.num_iterations,
+            "simulated_metrics_identical": True,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock benchmark: batch vs per-tuple execution")
+    parser.add_argument("--out", default=None,
+                        help="write results JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny datasets (CI smoke run)")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per mode (min is reported)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    results = run_benchmark(smoke=args.smoke, nodes=args.nodes,
+                            seed=args.seed, repeats=args.repeats)
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    for name, row in results["workloads"].items():
+        print(f"{name}: {row['speedup']}x "
+              f"({row['per_tuple_wall_seconds']}s -> "
+              f"{row['batch_wall_seconds']}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

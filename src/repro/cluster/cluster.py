@@ -10,9 +10,25 @@ stratum's per-node resource vectors into simulated wall time.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.cluster.costs import CostModel, ResourceUsage
+
+
+def _tally_total(tally: Dict[float, int]) -> float:
+    """Exact, order-independent total of a {seconds: count} tally.
+
+    Charges are accumulated as value -> count instead of a running float
+    sum, then combined here with ``math.fsum`` over a sorted view.  The
+    result depends only on the *multiset* of charges, never on the order
+    they arrived — which is what lets batch execution charge the same
+    costs as per-tuple execution in a different order and still produce
+    bit-identical simulated wall times.
+    """
+    if not tally:
+        return 0.0
+    return math.fsum(seconds * count for seconds, count in sorted(tally.items()))
 from repro.common.errors import ExecutionError, ReproError
 from repro.common.schema import Schema
 from repro.net.network import SimulatedNetwork
@@ -32,31 +48,68 @@ class Worker:
         self.id = node_id
         self.cost = cost_model
         self.alive = True
-        self.stratum_usage = ResourceUsage()
+        # Per-resource charge tallies ({seconds: count}); the stratum_usage
+        # property materializes them order-independently (see _tally_total).
+        self._cpu_tally: Dict[float, int] = {}
+        self._disk_tally: Dict[float, int] = {}
+        self._net_in_tally: Dict[float, int] = {}
+        self._net_out_tally: Dict[float, int] = {}
+        self._base_usage = ResourceUsage()
         self.total_usage = ResourceUsage()
         self.state_bytes = 0  # operator state held, for spill accounting
 
+    @property
+    def stratum_usage(self) -> ResourceUsage:
+        """The resource vector consumed so far in the current stratum."""
+        base = self._base_usage
+        return ResourceUsage(
+            base.cpu + _tally_total(self._cpu_tally),
+            base.disk + _tally_total(self._disk_tally),
+            base.net_in + _tally_total(self._net_in_tally),
+            base.net_out + _tally_total(self._net_out_tally),
+        )
+
+    @stratum_usage.setter
+    def stratum_usage(self, usage: ResourceUsage) -> None:
+        self._base_usage = usage
+        self._cpu_tally.clear()
+        self._disk_tally.clear()
+        self._net_in_tally.clear()
+        self._net_out_tally.clear()
+
     # -- charging -------------------------------------------------------
-    def charge_cpu(self, seconds: float) -> None:
+    def charge_cpu(self, seconds: float, n: int = 1) -> None:
+        """Charge ``n`` identical CPU costs of ``seconds`` each."""
         seconds /= self.cost.cpu_factor(self.id)
-        self.stratum_usage.cpu += seconds
+        tally = self._cpu_tally
+        tally[seconds] = tally.get(seconds, 0) + n
 
     def charge_tuples(self, n: int, per_tuple: Optional[float] = None) -> None:
         cost = self.cost.cpu_tuple_cost if per_tuple is None else per_tuple
-        self.charge_cpu(n * cost)
+        seconds = cost / self.cost.cpu_factor(self.id)
+        tally = self._cpu_tally
+        tally[seconds] = tally.get(seconds, 0) + n
 
     def charge_disk_bytes(self, nbytes: int) -> None:
-        self.stratum_usage.disk += nbytes / self.cost.disk_bandwidth
+        seconds = nbytes / self.cost.disk_bandwidth
+        tally = self._disk_tally
+        tally[seconds] = tally.get(seconds, 0) + 1
 
     def charge_disk_seek(self, count: int = 1) -> None:
-        self.stratum_usage.disk += count * self.cost.disk_seek
+        tally = self._disk_tally
+        seconds = self.cost.disk_seek
+        tally[seconds] = tally.get(seconds, 0) + count
 
     def charge_net_out(self, nbytes: int, messages: int = 1) -> None:
-        self.stratum_usage.net_out += (nbytes / self.cost.net_bandwidth
-                                       + messages * self.cost.net_latency)
+        seconds = (nbytes / self.cost.net_bandwidth
+                   + messages * self.cost.net_latency)
+        tally = self._net_out_tally
+        tally[seconds] = tally.get(seconds, 0) + 1
 
     def charge_net_in(self, nbytes: int) -> None:
-        self.stratum_usage.net_in += nbytes / self.cost.net_bandwidth
+        seconds = nbytes / self.cost.net_bandwidth
+        tally = self._net_in_tally
+        tally[seconds] = tally.get(seconds, 0) + 1
 
     def add_state_bytes(self, nbytes: int) -> None:
         """Track operator state growth; beyond the memory budget, the
@@ -78,13 +131,14 @@ class Worker:
         or probe against disk-based storage", Section 4)."""
         fraction = self.spilled_fraction()
         if fraction > 0.0:
-            self.stratum_usage.disk += fraction * (
-                nbytes / self.cost.disk_bandwidth
-                + self.cost.disk_seek / 256.0)
+            seconds = fraction * (nbytes / self.cost.disk_bandwidth
+                                  + self.cost.disk_seek / 256.0)
+            tally = self._disk_tally
+            tally[seconds] = tally.get(seconds, 0) + 1
 
     def end_stratum(self) -> ResourceUsage:
         """Roll the stratum usage into totals and return it."""
-        usage = self.stratum_usage
+        usage = self.stratum_usage  # materializes the charge tallies
         self.total_usage.add(usage)
         self.stratum_usage = ResourceUsage()
         return usage

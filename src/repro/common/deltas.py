@@ -37,7 +37,14 @@ class DeltaOp(enum.Enum):
         return f"DeltaOp.{self.name}"
 
 
-@dataclass(frozen=True)
+# Bound once at module level: Delta.__init__ runs hundreds of thousands of
+# times per query, so every name it touches should be a single global load.
+_dset = object.__setattr__
+_REPLACE = DeltaOp.REPLACE
+_UPDATE = DeltaOp.UPDATE
+
+
+@dataclass(frozen=True, slots=True, init=False)
 class Delta:
     """An annotated tuple flowing through the dataflow.
 
@@ -59,13 +66,23 @@ class Delta:
     old: Optional[Row] = None
     payload: Any = None
 
-    def __post_init__(self):
-        if self.op is DeltaOp.REPLACE and self.old is None:
-            raise ValueError("REPLACE delta requires the replaced tuple (old=)")
-        if self.op is not DeltaOp.REPLACE and self.old is not None:
-            raise ValueError(f"{self.op.name} delta must not carry old=")
-        if self.op is not DeltaOp.UPDATE and self.payload is not None:
-            raise ValueError(f"{self.op.name} delta must not carry payload=")
+    def __init__(self, op: DeltaOp, row: Row, old: Optional[Row] = None,
+                 payload: Any = None):
+        # Hand-written (init=False): deltas are constructed hundreds of
+        # thousands of times per query, so field assignment and validation
+        # share one frame instead of __init__ + __post_init__.
+        _dset(self, "op", op)
+        _dset(self, "row", row)
+        _dset(self, "old", old)
+        _dset(self, "payload", payload)
+        if old is not None:
+            if op is not _REPLACE:
+                raise ValueError(f"{op.name} delta must not carry old=")
+        elif op is _REPLACE:
+            raise ValueError(
+                "REPLACE delta requires the replaced tuple (old=)")
+        if payload is not None and op is not _UPDATE:
+            raise ValueError(f"{op.name} delta must not carry payload=")
 
     def with_row(self, row: Row, old: Optional[Row] = None) -> "Delta":
         """Return a copy carrying the same annotation over a new row.

@@ -21,7 +21,7 @@ class PunctuationKind(enum.Enum):
     END_OF_QUERY = "end-of-query"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Punctuation:
     """A stratum-boundary marker.
 

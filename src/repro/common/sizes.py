@@ -18,6 +18,11 @@ _NUMERIC_BYTES = 8
 
 def value_bytes(value: Any) -> int:
     """Estimated serialized size of one value."""
+    cls = value.__class__
+    if cls is int or cls is float:   # exact classes: bool is not int here
+        return _NUMERIC_BYTES
+    if cls is str:
+        return len(value.encode("utf-8"))
     if value is None:
         return 1
     if isinstance(value, bool):
@@ -35,6 +40,41 @@ def value_bytes(value: Any) -> int:
     return 16
 
 
+_ROW_BYTES_CACHE: dict = {}
+_ROW_BYTES_CACHE_MAX = 65536
+
+
 def row_bytes(row) -> int:
-    """Estimated serialized size of one row (tuple of values)."""
-    return TUPLE_OVERHEAD_BYTES + sum(value_bytes(v) for v in row)
+    """Estimated serialized size of one row (tuple of values).
+
+    Memoized per row value: the same rows are sized repeatedly as they
+    move through rehash buffers, join state, and checkpoints.  Only rows
+    of plain scalars (non-bool int, float, str, None) are cached —
+    ``(True,)`` and ``(1,)`` are equal as dict keys but size differently
+    (1 vs 8 bytes), and the same trap nests inside containers; flat
+    scalar rows are the hot case anyway.
+    """
+    try:
+        return _ROW_BYTES_CACHE[row]
+    except KeyError:
+        pass
+    except TypeError:
+        return TUPLE_OVERHEAD_BYTES + sum(value_bytes(v) for v in row)
+    size = TUPLE_OVERHEAD_BYTES
+    cacheable = True
+    for v in row:
+        cls = v.__class__
+        if cls is int or cls is float:
+            size += _NUMERIC_BYTES
+        elif cls is str:
+            size += len(v.encode("utf-8"))
+        elif v is None:
+            size += 1
+        else:
+            cacheable = False
+            size += value_bytes(v)
+    if cacheable:
+        if len(_ROW_BYTES_CACHE) >= _ROW_BYTES_CACHE_MAX:
+            _ROW_BYTES_CACHE.clear()
+        _ROW_BYTES_CACHE[row] = size
+    return size

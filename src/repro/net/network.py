@@ -43,12 +43,16 @@ class Message:
         if self.punct is not None:
             return PUNCT_BYTES
         total = 0
+        size_row = row_bytes
+        size_value = value_bytes
         for d in self.deltas or ():
-            total += 1 + row_bytes(d.row)
-            if d.old is not None:
-                total += row_bytes(d.old)
-            if d.payload is not None:
-                total += value_bytes(d.payload)
+            total += 1 + size_row(d.row)
+            old = d.old
+            if old is not None:
+                total += size_row(old)
+            payload = d.payload
+            if payload is not None:
+                total += size_value(payload)
         return total + PUNCT_BYTES  # batch framing
 
 

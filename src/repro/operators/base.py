@@ -35,15 +35,24 @@ class RuntimeHooks:
 
 
 class ExecContext:
-    """Per-worker execution environment handed to every operator instance."""
+    """Per-worker execution environment handed to every operator instance.
+
+    ``batch=True`` selects batch-vectorized execution: sources and network
+    receivers move ``List[Delta]`` batches through :meth:`Operator.push_batch`
+    instead of one virtual :meth:`Operator.receive` call per tuple.  The
+    simulated cost accounting is identical in both modes (same charge
+    multisets; see :mod:`repro.cluster.cluster`), only wall clock differs.
+    """
 
     def __init__(self, worker, cluster=None, snapshot=None,
-                 hooks: Optional[RuntimeHooks] = None, registry=None):
+                 hooks: Optional[RuntimeHooks] = None, registry=None,
+                 batch: bool = False):
         self.worker = worker
         self.cluster = cluster
         self.snapshot = snapshot
         self.hooks = hooks or RuntimeHooks()
         self.registry = registry
+        self.batch = batch
 
     @property
     def node_id(self) -> int:
@@ -53,12 +62,18 @@ class ExecContext:
     def cost(self):
         return self.worker.cost
 
-    def charge_cpu(self, seconds: float) -> None:
-        self.worker.charge_cpu(seconds)
+    def charge_cpu(self, seconds: float, n: int = 1) -> None:
+        self.worker.charge_cpu(seconds, n)
 
     def charge_tuple(self, per_tuple: Optional[float] = None) -> None:
         self.worker.charge_tuples(1, per_tuple)
         self.hooks.count_tuples(1)
+
+    def charge_tuple_batch(self, n: int, per_tuple: Optional[float] = None) -> None:
+        """Charge ``n`` tuples at once — one tally update instead of ``n``
+        call chains; same accounting as ``n`` :meth:`charge_tuple` calls."""
+        self.worker.charge_tuples(n, per_tuple)
+        self.hooks.count_tuples(n)
 
 
 class Operator:
@@ -109,8 +124,21 @@ class Operator:
         self.ctx.charge_tuple(self.per_tuple_cost)
         self.process(delta, port)
 
-    def process(self, delta: Delta, port: int) -> None:  # pragma: no cover
-        raise NotImplementedError
+    def push_batch(self, deltas: List[Delta], port: int = 0) -> None:
+        """Entry point for a batch of deltas.
+
+        Semantically equivalent to ``len(deltas)`` :meth:`receive` calls in
+        order (identical outputs, state, and charge multisets).  This default
+        charges the whole batch in one tally update and loops ``process``;
+        hot operators override it with vectorized implementations that also
+        coalesce their downstream emissions via :meth:`emit_batch`.
+        """
+        if not deltas:
+            return
+        self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        process = self.process
+        for delta in deltas:
+            process(delta, port)
 
     def emit(self, delta: Delta) -> None:
         if self.parent is None:
@@ -120,6 +148,14 @@ class Operator:
     def emit_all(self, deltas) -> None:
         for d in deltas:
             self.emit(d)
+
+    def emit_batch(self, deltas: List[Delta]) -> None:
+        """Hand a whole output batch to the parent's batch entry point."""
+        if not deltas:
+            return
+        if self.parent is None:
+            raise ExecutionError(f"{self.name} has no parent to emit to")
+        self.parent.push_batch(deltas, self.parent_port)
 
     # -- punctuation path ---------------------------------------------------
     def on_punctuation(self, punct: Punctuation, port: int = 0) -> None:

@@ -41,6 +41,10 @@ class RehashSender(Operator):
         self.batch_size = batch_size
         self.broadcast = broadcast
         self._buffers: Dict[int, List[Delta]] = {}
+        # row -> destination memo, invalidated when the snapshot's live
+        # set changes (node failure re-routes ranges mid-query).
+        self._dst_cache: Dict[tuple, int] = {}
+        self._dst_version = -1
 
     def open(self, ctx):
         super().open(ctx)
@@ -53,10 +57,20 @@ class RehashSender(Operator):
         return [self.ctx.snapshot.primary(key)]
 
     def _route(self, delta: Delta) -> None:
-        for dst in self._destinations(delta.row):
-            buf = self._buffers.setdefault(dst, [])
+        # Hot loop: bind lookups to locals (satellite of the batch PR).
+        buffers = self._buffers
+        batch_size = self.batch_size
+        if self.broadcast:
+            destinations = self.ctx.snapshot.live_nodes()
+        else:
+            destinations = (self.ctx.snapshot.primary(
+                normalize_key(self.key_fn(delta.row))),)
+        for dst in destinations:
+            buf = buffers.get(dst)
+            if buf is None:
+                buf = buffers[dst] = []
             buf.append(delta)
-            if len(buf) >= self.batch_size:
+            if len(buf) >= batch_size:
                 self._flush(dst)
 
     def process(self, delta: Delta, port: int) -> None:
@@ -66,6 +80,69 @@ class RehashSender(Operator):
             self._route(Delta(DeltaOp.INSERT, delta.row))
         else:
             self._route(delta)
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        """Route a whole batch in one partition pass.
+
+        Message boundaries are unchanged from per-tuple routing (a buffer
+        still flushes the moment it reaches ``batch_size``), so the network
+        sees the same messages and bytes in both execution modes.
+        """
+        if not deltas:
+            return
+        ctx = self.ctx
+        ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        buffers = self._buffers
+        batch_size = self.batch_size
+        flush = self._flush
+        snapshot = ctx.snapshot
+        if self.broadcast:
+            live = snapshot.live_nodes()
+            for delta in deltas:
+                for dst in live:
+                    buf = buffers.get(dst)
+                    if buf is None:
+                        buf = buffers[dst] = []
+                    buf.append(delta)
+                    if len(buf) >= batch_size:
+                        flush(dst)
+            return
+        key_fn = self.key_fn
+        normalize = normalize_key
+        primary = snapshot.primary
+        replace = DeltaOp.REPLACE
+        if self._dst_version != snapshot.version:
+            self._dst_cache.clear()
+            self._dst_version = snapshot.version
+        # The memo is keyed by the *row*, not the extracted key: equal rows
+        # extract equal keys (key functions are pure), so a hit skips both
+        # the key_fn call and the ring lookup.
+        dst_for_row = self._dst_cache
+        for delta in deltas:
+            row = delta.row
+            if delta.op is replace:
+                if key_fn(delta.old) != key_fn(row):
+                    # Split replacement: two partitions; route each half
+                    # exactly as the per-tuple path would.
+                    self._route(Delta(DeltaOp.DELETE, delta.old))
+                    self._route(Delta(DeltaOp.INSERT, row))
+                    continue
+            try:
+                dst = dst_for_row[row]
+            except KeyError:
+                dst = primary(normalize(key_fn(row)))
+                if len(dst_for_row) >= 131072:
+                    dst_for_row.clear()
+                dst_for_row[row] = dst
+            except TypeError:
+                dst = primary(normalize(key_fn(row)))
+            try:
+                buf = buffers[dst]
+            except KeyError:
+                buf = buffers[dst] = []
+            buf.append(delta)
+            if len(buf) >= batch_size:
+                flush(dst)
 
     def _flush(self, dst: int) -> None:
         batch = self._buffers.pop(dst, None)
@@ -117,9 +194,20 @@ class ExchangeReceiver(Operator):
                 self._punct_count = 0
                 self.forward_punctuation(msg.punct)
             return
-        for delta in msg.deltas or ():
-            self.ctx.charge_tuple(self.per_tuple_cost)
-            self.emit(delta)
+        deltas = msg.deltas or ()
+        if not deltas:
+            return
+        if self.ctx.batch:
+            self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+            self.emit_batch(deltas if isinstance(deltas, list)
+                            else list(deltas))
+            return
+        charge_tuple = self.ctx.charge_tuple
+        per_tuple_cost = self.per_tuple_cost
+        emit = self.emit
+        for delta in deltas:
+            charge_tuple(per_tuple_cost)
+            emit(delta)
 
     def process(self, delta: Delta, port: int) -> None:
         raise ExecutionError("ExchangeReceiver is fed by the network fabric")

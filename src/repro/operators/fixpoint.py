@@ -83,6 +83,74 @@ class Fixpoint(Operator):
             return
         self._process_keyed(delta)
 
+    def push_batch(self, deltas, port: int = 0) -> None:
+        """Batched duplicate-elimination against the Δ-set: one charge for
+        the batch, handler/dedup loop with locals bound, admission counters
+        updated once."""
+        if not deltas:
+            return
+        ctx = self.ctx
+        ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        pending = self.pending
+        admitted_before = len(pending)
+        handler = self.while_handler
+        if handler is not None:
+            update = handler.update
+            state = self.state
+            for delta in deltas:
+                result = update(state, delta)
+                if result:
+                    pending.extend(as_deltas(None, result))
+            ctx.charge_cpu(ctx.cost.udf_cost_per_tuple(batched=True),
+                           len(deltas))
+        elif self.semantics == "bag":
+            pending.extend(deltas)
+        elif self.semantics == "set":
+            process_set = self._process_set
+            for delta in deltas:
+                process_set(delta)
+            return  # _process_set already maintained the admission counters
+        else:
+            # Keyed dedup/refinement inlined with locals bound (the hot
+            # path for every recursive benchmark).
+            key_fn = self.key_fn
+            state = self.state
+            add_state_bytes = ctx.worker.add_state_bytes
+            admit_unchanged = self.admit_unchanged
+            append = pending.append
+            insert, delete = DeltaOp.INSERT, DeltaOp.DELETE
+            replace = DeltaOp.REPLACE
+            for delta in deltas:
+                op = delta.op
+                if op is delete:
+                    key = key_fn(delta.row)
+                    current = state.pop(key, None)
+                    if current is not None:
+                        append(Delta(delete, current))
+                    continue
+                if op is not insert and op is not replace:
+                    raise ExecutionError(
+                        "keyed fixpoint cannot interpret UPDATE deltas; "
+                        "supply a while delta handler"
+                    )
+                row = delta.row
+                key = key_fn(row)
+                current = state.get(key)
+                if current is None:
+                    state[key] = row
+                    add_state_bytes(row_bytes(row))
+                    append(Delta(insert, row))
+                elif current == row:
+                    if admit_unchanged:
+                        append(Delta(insert, row))
+                else:
+                    state[key] = row
+                    append(Delta(replace, row, old=current))
+        admitted = len(pending) - admitted_before
+        if admitted:
+            self.admitted_this_stratum += admitted
+            ctx.hooks.count_admitted(admitted)
+
     def _process_set(self, delta: Delta) -> None:
         if delta.op in (DeltaOp.INSERT, DeltaOp.UPDATE):
             if delta.row not in self.row_set:
@@ -141,6 +209,9 @@ class Fixpoint(Operator):
             rows = sorted(self.row_set)
         else:
             rows = list(self.state.values())
+        if self.ctx is not None and self.ctx.batch:
+            self.emit_batch([Delta(DeltaOp.INSERT, row) for row in rows])
+            return
         for row in rows:
             self.emit(Delta(DeltaOp.INSERT, row))
 
@@ -180,7 +251,10 @@ class FeedbackSource(SourceOperator):
 
     def run_stratum(self, stratum: int) -> None:
         batch, self.queue = self.queue, []
-        for delta in batch:
-            self.emit(delta)
+        if self.ctx.batch:
+            self.emit_batch(batch)
+        else:
+            for delta in batch:
+                self.emit(delta)
         self.parent.on_punctuation(Punctuation.end_of_stratum(stratum),
                                    self.parent_port)

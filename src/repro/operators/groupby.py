@@ -25,6 +25,7 @@ from repro.common.punctuation import Punctuation
 from repro.common.sizes import row_bytes
 from repro.operators.base import Operator
 from repro.udf.aggregates import AggregateSpec
+from repro.udf.builtins import Sum
 
 
 class _Group:
@@ -55,6 +56,7 @@ class GroupBy(Operator):
         self.reset_emissions_each_stratum = reset_emissions_each_stratum
         self.groups: Dict[tuple, _Group] = {}
         self._dirty: Dict[tuple, None] = {}  # insertion-ordered set
+        self._key_memo: Dict[tuple, tuple] = {}  # row -> extracted key
 
     def open(self, ctx):
         super().open(ctx)
@@ -112,28 +114,167 @@ class GroupBy(Operator):
         else:
             self._dirty[key] = None
 
+    def push_batch(self, deltas, port: int = 0) -> None:
+        """Vectorized stratum-mode path: key extraction, state lookup, and
+        per-spec dispatch amortized per batch; one dirty-set pass."""
+        if self.mode != "stream" and self.specs:
+            self._push_batch_stratum(deltas, port)
+        else:
+            super().push_batch(deltas, port)
+
+    def _push_batch_stratum(self, deltas, port: int) -> None:
+        if not deltas:
+            return
+        ctx = self.ctx
+        ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        key_fn = self.key_fn
+        groups = self.groups
+        dirty = self._dirty
+        specs = self.specs
+        worker = ctx.worker
+        charge_state_access = worker.charge_state_access
+        # charge_state_access is a no-op until state spills past the
+        # memory budget; guard with an inline compare in the hot loop.
+        memory_budget = worker.cost.worker_memory_bytes
+        charge_cpu = ctx.charge_cpu
+        cost = ctx.cost
+        # Hoist per-spec dispatch out of the loop: (arg, agg_state, charge).
+        spec_plan = []
+        for spec in specs:
+            per_delta_cost = getattr(spec.aggregator, "per_delta_cost", None)
+            spec_plan.append((
+                spec.arg, spec.aggregator.agg_state,
+                per_delta_cost(cost) if per_delta_cost is not None else None,
+            ))
+        udf_cost = cost.udf_cost_per_tuple(batched=True)
+        insert, delete = DeltaOp.INSERT, DeltaOp.DELETE
+        replace, value_update = DeltaOp.REPLACE, DeltaOp.UPDATE
+        # CPU charges are constants per spec, so count them in the loop
+        # and charge once per batch — the worker's tally accounting makes
+        # n charges of v and one charge of (v, n) the same multiset.
+        charge_counts = [0] * len(spec_plan)
+        udf_charges = 0
+        if len(spec_plan) == 1:
+            s_arg, s_agg_state, s_per_delta = spec_plan[0]
+            single = True
+            # Exact-class check so the running-SUM δ fold (PageRank's hot
+            # path) can be inlined below; Sum subclasses keep the generic
+            # agg_state call.
+            s_sum_fast = (specs[0].aggregator.__class__ is Sum
+                          and s_per_delta is None)
+        else:
+            single = False
+            s_sum_fast = False
+        # row -> key memo: group keys repeat heavily (every δ aimed at a
+        # group re-extracts the same key), and key functions are pure.
+        key_memo = self._key_memo
+        for delta in deltas:
+            op = delta.op
+            row = delta.row
+            if op is replace:
+                old_key = key_fn(delta.old)
+                key = key_fn(row)
+                if old_key != key:
+                    # The replacement straddles two groups: decompose.
+                    self.process(Delta(delete, delta.old), port)
+                    self.process(Delta(insert, row), port)
+                    continue
+            else:
+                try:
+                    key = key_memo[row]
+                except KeyError:
+                    if len(key_memo) >= 65536:
+                        key_memo.clear()
+                    key = key_memo[row] = key_fn(row)
+                except TypeError:
+                    key = key_fn(row)
+            if worker.state_bytes > memory_budget:
+                charge_state_access()
+            try:
+                group = groups[key]
+            except KeyError:
+                group = _Group([spec.aggregator.init_state()
+                                for spec in specs])
+                groups[key] = group
+                worker.add_state_bytes(row_bytes(key) + 32)
+            if op is insert:
+                group.live += 1
+            elif op is delete:
+                group.live -= 1
+            elif op is value_update:
+                if group.live < 1:
+                    group.live = 1
+                if s_sum_fast:
+                    payload = delta.payload
+                    # Same fold, charge, and float-operation order as
+                    # Sum.agg_state's UPDATE branch; non-plain-numeric
+                    # payloads (incl. bool) fall through to it.
+                    if (payload.__class__ is float
+                            or payload.__class__ is int):
+                        state0 = group.states[0]
+                        if state0["count"] < 1:
+                            state0["count"] = 1
+                        state0["sum"] += payload
+                        udf_charges += 1
+                        dirty[key] = None
+                        continue
+            is_update = op is value_update
+            states = group.states
+            if single:
+                if s_per_delta is not None:
+                    charge_counts[0] += 1
+                elif is_update:
+                    udf_charges += 1
+                states[0] = s_agg_state(
+                    states[0], delta,
+                    None if is_update else s_arg(row),
+                    s_arg(delta.old) if op is replace else None)
+            else:
+                i = 0
+                for arg, agg_state, per_delta in spec_plan:
+                    value = None if is_update else arg(delta.row)
+                    old_value = arg(delta.old) if op is replace else None
+                    if per_delta is not None:
+                        charge_counts[i] += 1
+                    elif is_update:
+                        udf_charges += 1
+                    states[i] = agg_state(states[i], delta, value, old_value)
+                    i += 1
+            dirty[key] = None
+        for i, (_, _, per_delta) in enumerate(spec_plan):
+            if charge_counts[i]:
+                charge_cpu(per_delta, charge_counts[i])
+        if udf_charges:
+            charge_cpu(udf_cost, udf_charges)
+
     # -- emission ----------------------------------------------------------
-    def _flush_key(self, key: tuple, group: _Group) -> None:
+    def _flush_key(self, key: tuple, group: _Group,
+                   out: Optional[List[Delta]] = None) -> None:
+        emit = self.emit if out is None else out.append
         outputs = tuple(spec.aggregator.agg_result(state)
                         for spec, state in zip(self.specs, group.states))
         empty = group.live <= 0 and all(v is None for v in outputs)
         if empty:
             if group.last is not None:
-                self.emit(Delta(DeltaOp.DELETE, group.last))
+                emit(Delta(DeltaOp.DELETE, group.last))
             del self.groups[key]
             return
         row = key + outputs
         if group.last is None:
-            self.emit(Delta(DeltaOp.INSERT, row))
+            emit(Delta(DeltaOp.INSERT, row))
         elif row != group.last:
-            self.emit(Delta(DeltaOp.REPLACE, row, old=group.last))
+            emit(Delta(DeltaOp.REPLACE, row, old=group.last))
         group.last = row
 
     def on_stratum_end(self, punct: Punctuation) -> None:
+        out: Optional[List[Delta]] = (
+            [] if self.ctx is not None and self.ctx.batch else None)
         for key in list(self._dirty):
             group = self.groups.get(key)
             if group is not None:
-                self._flush_key(key, group)
+                self._flush_key(key, group, out)
+        if out:
+            self.emit_batch(out)
         self._dirty.clear()
         if self.clear_states_each_stratum:
             # Re-aggregation mode (REX no-delta / Hadoop-style): aggregate

@@ -25,6 +25,12 @@ class Union(Operator):
     def process(self, delta: Delta, port: int) -> None:
         self.emit(delta)
 
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        self.emit_batch(deltas)
+
 
 class Collect(Operator):
     """Per-worker sink shipping result deltas to the query requestor.
@@ -45,6 +51,20 @@ class Collect(Operator):
         self._buffer.append(delta)
         if len(self._buffer) >= self.batch_size:
             self._flush()
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        """Buffer the batch, flushing at the same ``batch_size`` crossings
+        as per-delta processing so the requestor sees identical messages."""
+        if not deltas:
+            return
+        self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        batch_size = self.batch_size
+        append = self._buffer.append
+        for delta in deltas:
+            append(delta)
+            if len(self._buffer) >= batch_size:
+                self._flush()
+                append = self._buffer.append
 
     def _flush(self) -> None:
         if self._buffer:

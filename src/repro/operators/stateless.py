@@ -36,8 +36,12 @@ class TableScan(SourceOperator):
             if len(partition):
                 self.ctx.worker.charge_disk_seek()
                 self.ctx.worker.charge_disk_bytes(partition.bytes)
-            for row in partition:
-                self.emit(Delta(DeltaOp.INSERT, row))
+            if self.ctx.batch:
+                insert = DeltaOp.INSERT
+                self.emit_batch([Delta(insert, row) for row in partition])
+            else:
+                for row in partition:
+                    self.emit(Delta(DeltaOp.INSERT, row))
             self._emit_takeover_rows()
         self.forward_punctuation_from_source(stratum)
 
@@ -82,8 +86,12 @@ class LocalSource(SourceOperator):
         self.rows_by_stratum = rows_by_stratum or {}
 
     def run_stratum(self, stratum: int) -> None:
-        for row in self.rows_by_stratum.get(stratum, ()):
-            self.emit(Delta(DeltaOp.INSERT, tuple(row)))
+        rows = self.rows_by_stratum.get(stratum, ())
+        if self.ctx.batch:
+            self.emit_batch([Delta(DeltaOp.INSERT, tuple(row)) for row in rows])
+        else:
+            for row in rows:
+                self.emit(Delta(DeltaOp.INSERT, tuple(row)))
         self.parent.on_punctuation(Punctuation.end_of_stratum(stratum),
                                    self.parent_port)
 
@@ -125,6 +133,28 @@ class Filter(Operator):
         if self.predicate(delta.row):
             self.emit(delta)
 
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        predicate = self.predicate
+        replace = DeltaOp.REPLACE
+        out: List[Delta] = []
+        append = out.append
+        for delta in deltas:
+            if delta.op is replace:
+                new_ok = bool(predicate(delta.row))
+                old_ok = bool(predicate(delta.old))
+                if new_ok and old_ok:
+                    append(delta)
+                elif new_ok:
+                    append(Delta(DeltaOp.INSERT, delta.row))
+                elif old_ok:
+                    append(Delta(DeltaOp.DELETE, delta.old))
+            elif predicate(delta.row):
+                append(delta)
+        self.emit_batch(out)
+
 
 class Project(Operator):
     """π: maps each delta's row(s) through a compiled row function."""
@@ -140,6 +170,23 @@ class Project(Operator):
                                      old=self.row_fn(delta.old)))
         else:
             self.emit(delta.with_row(self.row_fn(delta.row)))
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        row_fn = self.row_fn
+        replace = DeltaOp.REPLACE
+        out: List[Delta] = []
+        append = out.append
+        for delta in deltas:
+            if delta.op is replace:
+                append(Delta(replace, row_fn(delta.row),
+                             old=row_fn(delta.old)))
+            else:
+                append(Delta(delta.op, row_fn(delta.row),
+                             payload=delta.payload))
+        self.emit_batch(out)
 
 
 class ApplyFunction(Operator):
@@ -211,3 +258,57 @@ class ApplyFunction(Operator):
             return
         for out in self._invoke(delta.row):
             self.emit(delta.with_row(out))
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        ctx = self.ctx
+        ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
+        udf = self.udf
+        per_call = getattr(udf, "per_call_cost", None)
+        call_cost = (per_call(ctx.cost) if per_call is not None
+                     else ctx.cost.udf_cost_per_tuple(batched=True))
+        out: List[Delta] = []
+        calls = 0
+        if self.delta_aware:
+            for delta in deltas:
+                calls += 1
+                result = udf(delta)
+                if result:
+                    out.extend(result)
+        else:
+            arg_fn = self.arg_fn
+            table_valued = getattr(udf, "table_valued", False)
+            extend_mode = self.mode == "extend"
+            replace = DeltaOp.REPLACE
+
+            def invoke(row):
+                result = udf(*arg_fn(row))
+                if table_valued:
+                    rows = [tuple(r) for r in (result or ())]
+                else:
+                    rows = [(result,)]
+                if extend_mode:
+                    return [row + r for r in rows]
+                return rows
+
+            for delta in deltas:
+                if delta.op is replace:
+                    calls += 2
+                    new_rows = invoke(delta.row)
+                    old_rows = invoke(delta.old)
+                    if len(new_rows) == len(old_rows):
+                        for new, old in zip(new_rows, old_rows):
+                            out.append(Delta(replace, new, old=old))
+                    else:
+                        for old in old_rows:
+                            out.append(Delta(DeltaOp.DELETE, old))
+                        for new in new_rows:
+                            out.append(Delta(DeltaOp.INSERT, new))
+                else:
+                    calls += 1
+                    for row in invoke(delta.row):
+                        out.append(delta.with_row(row))
+        self.calls += calls
+        ctx.charge_cpu(call_cost, calls)
+        self.emit_batch(out)

@@ -92,6 +92,11 @@ class ExecOptions:
             return [self.failure]
         return list(self.failure)
     collect_result: bool = True
+    batch: bool = True
+    """Batch-vectorized execution: operators move List[Delta] batches via
+    ``push_batch`` instead of one virtual call per delta.  Simulated
+    metrics (seconds, bytes, delta counts, strata) are identical in both
+    modes; only wall-clock changes.  Set False for the per-tuple path."""
 
 
 @dataclass
@@ -176,7 +181,8 @@ class QueryExecutor:
         for node_id in live:
             worker = self.cluster.worker(node_id)
             ctx = ExecContext(worker, cluster=self.cluster,
-                              snapshot=self.snapshot, hooks=self._hooks)
+                              snapshot=self.snapshot, hooks=self._hooks,
+                              batch=self.options.batch)
             wp = _WorkerPlan(node_id)
             self.worker_plans[node_id] = wp
             self._build(plan.root, None, ctx, wp, len(live))
@@ -358,12 +364,15 @@ class QueryExecutor:
         rf = self.options.checkpoint_replication
         if rf < 2:
             return
+        key_fn = self._fixpoint_key_fn
+        original_replicas = self.snapshot.original_replicas
+        add_checkpointed = self._checkpointed_keys.add
         for worker_id, deltas in pending.items():
             batches: Dict[int, List[Delta]] = {}
             for delta in deltas:
-                key = normalize_key(self._fixpoint_key_fn(delta.row))
-                self._checkpointed_keys.add(self._fixpoint_key_fn(delta.row))
-                for replica in self.snapshot.original_replicas(key, rf)[1:]:
+                key = key_fn(delta.row)
+                add_checkpointed(key)
+                for replica in original_replicas(normalize_key(key), rf)[1:]:
                     if replica != worker_id:
                         batches.setdefault(replica, []).append(delta)
             for dst, batch in batches.items():
@@ -411,6 +420,7 @@ class QueryExecutor:
             failure=None,
             recovery=self.options.recovery,
             collect_result=self.options.collect_result,
+            batch=self.options.batch,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.common.errors import ReproError
 
 _RING_SPACE = 1 << 64
+_blake2b = hashlib.blake2b
 
 
 def stable_hash(value: Any) -> int:
@@ -40,14 +41,14 @@ def stable_hash(value: Any) -> int:
     elif value is None:
         data = b"n"
     elif isinstance(value, tuple):
-        digest = hashlib.blake2b(digest_size=8)
+        digest = _blake2b(digest_size=8)
         digest.update(b"t")
         for item in value:
             digest.update(stable_hash(item).to_bytes(8, "little"))
         return int.from_bytes(digest.digest(), "little")
     else:
         data = b"o" + repr(value).encode()
-    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+    return int.from_bytes(_blake2b(data, digest_size=8).digest(), "little")
 
 
 def normalize_key(key: Any) -> Any:
@@ -142,7 +143,8 @@ class HashRing:
 class RingSnapshot:
     """An immutable view of ring state taken at query-request time."""
 
-    __slots__ = ("_points", "_owners", "nodes", "_live")
+    __slots__ = ("_points", "_owners", "nodes", "_live", "_primary_cache",
+                 "_original_cache", "version")
 
     def __init__(self, points: Tuple[int, ...], owners: Tuple[int, ...],
                  nodes: Tuple[int, ...]):
@@ -152,29 +154,56 @@ class RingSnapshot:
         # Nodes marked dead during recovery; routing skips them but the
         # snapshot remembers original ownership for checkpoint hand-off.
         self._live: Dict[int, bool] = {n: True for n in nodes}
+        # key -> primary node, for scalar keys routed over and over by
+        # rehash senders.  Invalidated when the live set changes.
+        self._primary_cache: Dict[Any, int] = {}
+        # (key, n) -> original replica list; ownership ignores failures,
+        # so this cache never needs invalidation.
+        self._original_cache: Dict[Any, List[int]] = {}
+        # Bumped on every liveness change so routing caches held outside
+        # the snapshot (e.g. RehashSender) know to invalidate.
+        self.version = 0
 
     def mark_failed(self, node: int) -> None:
         self._live[node] = False
+        self._primary_cache.clear()
+        self.version += 1
 
     def live_nodes(self) -> List[int]:
         return [n for n in self.nodes if self._live[n]]
 
     def primary(self, key: Any) -> int:
+        # Cache only plain int/float/str keys: bools and tuples nesting
+        # them are ==/hash-equal to ints yet hash differently on the ring
+        # (stable_hash tags types), so they would collide in the memo.
+        # An int and its equal float share a ring point, so that collision
+        # is harmless.
+        cls = key.__class__
+        if cls is int or cls is str or cls is float:
+            cache = self._primary_cache
+            node = cache.get(key)
+            if node is None:
+                node = self.replicas(key, 1)[0]
+                cache[key] = node
+            return node
         return self.replicas(key, 1)[0]
 
     def replicas(self, key: Any, n: int) -> List[int]:
         """Distinct live nodes clockwise of ``key`` (post-failure routing)."""
-        live = [node for node in self.nodes if self._live[node]]
-        n = min(n, len(live))
+        points = self._points
+        owners = self._owners
+        live = self._live
+        n = min(n, sum(1 for node in self.nodes if live[node]))
         if n == 0:
             raise ReproError("no live nodes remain in partition snapshot")
         point = stable_hash(key) % _RING_SPACE
-        start = bisect.bisect(self._points, point)
+        npoints = len(points)
+        start = bisect.bisect(points, point)
         result: List[int] = []
         seen = set()
-        for i in range(len(self._points)):
-            owner = self._owners[(start + i) % len(self._points)]
-            if owner in seen or not self._live[owner]:
+        for i in range(npoints):
+            owner = owners[(start + i) % npoints]
+            if owner in seen or not live[owner]:
                 continue
             seen.add(owner)
             result.append(owner)
@@ -184,6 +213,18 @@ class RingSnapshot:
 
     def original_replicas(self, key: Any, n: int) -> List[int]:
         """Replica set ignoring failures — who *held* the checkpoints."""
+        cls = key.__class__
+        cacheable = cls is int or cls is str or cls is float
+        if cacheable:
+            cached = self._original_cache.get((key, n))
+            if cached is not None:
+                return cached
+        result = self._original_replicas(key, n)
+        if cacheable:
+            self._original_cache[(key, n)] = result
+        return result
+
+    def _original_replicas(self, key: Any, n: int) -> List[int]:
         n = min(n, len(self.nodes))
         point = stable_hash(key) % _RING_SPACE
         start = bisect.bisect(self._points, point)

@@ -156,6 +156,15 @@ def as_deltas(key_row: Tuple, values: Any) -> List[Delta]:
     delta list.  Used by operators to accept both styles."""
     if values is None:
         return []
+    if values.__class__ is list:
+        # Hot path (handlers build lists): validate in place, no rebuild.
+        for v in values:
+            if v.__class__ is not Delta and not isinstance(v, Delta):
+                raise UDFError(
+                    f"delta handler returned non-Delta {v!r}; wrap values "
+                    "with repro.common.insert/replace/update"
+                )
+        return values
     if isinstance(values, Delta):
         return [values]
     out = []

@@ -56,19 +56,35 @@ class Sum(Aggregator):
         return {"sum": 0, "count": 0}
 
     def agg_state(self, state, delta: Delta, value, old_value=None):
-        def fold_in(s, v):
-            if v is not None:
-                s["sum"] += v
-                s["count"] += 1
-
-        def fold_out(s, v):
-            if v is not None:
-                s["sum"] -= v
-                s["count"] -= 1
-
-        if delta.op is DeltaOp.UPDATE:
-            state["count"] = max(state["count"], 1)
-        return _numeric_fold(state, delta, value, old_value, fold_in, fold_out)
+        # Hot path (PageRank diffs are Sum updates): hand-inlined fold —
+        # same arithmetic and ordering as _numeric_fold, no closures.
+        op = delta.op
+        if op is DeltaOp.UPDATE:
+            payload = delta.payload
+            if not isinstance(payload, (int, float)):
+                raise UDFError(
+                    "built-in aggregates only interpret numeric UPDATE "
+                    "payloads"
+                )
+            if state["count"] < 1:
+                state["count"] = 1
+            state["sum"] += payload
+        elif op is DeltaOp.INSERT:
+            if value is not None:
+                state["sum"] += value
+                state["count"] += 1
+        elif op is DeltaOp.DELETE:
+            if value is not None:
+                state["sum"] -= value
+                state["count"] -= 1
+        else:  # REPLACE: retract the old image, then apply the new
+            if old_value is not None:
+                state["sum"] -= old_value
+                state["count"] -= 1
+            if value is not None:
+                state["sum"] += value
+                state["count"] += 1
+        return state
 
     def agg_result(self, state):
         return state["sum"] if state["count"] > 0 else None
