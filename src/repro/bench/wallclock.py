@@ -71,13 +71,7 @@ def _kmeans_setup(n_points: int, k: int, nodes: int, seed: int):
 
 def _metrics_fingerprint(m: QueryMetrics) -> tuple:
     """Everything the simulator decides: must match bit-for-bit."""
-    return (
-        m.num_iterations,
-        tuple((it.seconds, it.bytes_sent, it.delta_count,
-               it.tuples_processed, it.mutable_size)
-              for it in m.iterations),
-        m.total_seconds(),
-    )
+    return m.fingerprint()
 
 
 def _workloads(smoke: bool, nodes: int, seed: int
@@ -97,17 +91,20 @@ def _workloads(smoke: bool, nodes: int, seed: int
     ]
 
 
-def _time_run(make_runner: Callable, batch: bool
-              ) -> Tuple[float, QueryMetrics]:
-    """Build a fresh cluster (untimed), then time one query execution.
+def _time_run(make_runner: Callable, batch: bool, obs=None
+              ) -> Tuple[float, float, QueryMetrics]:
+    """Build a fresh cluster, then time one query execution.
 
-    Setup garbage is collected before the timer starts and the collector
-    is paused inside the timed region (both modes identically), so cluster
-    construction debt is not billed to whichever mode happens to trip a
-    generational collection first.
+    Returns ``(setup_wall, run_wall, metrics)`` so the report can split
+    per-phase wall time.  Setup garbage is collected before the timer
+    starts and the collector is paused inside the timed region (both modes
+    identically), so cluster construction debt is not billed to whichever
+    mode happens to trip a generational collection first.
     """
+    setup_start = time.perf_counter()
     runner = make_runner()
-    options = ExecOptions(batch=batch)
+    setup_wall = time.perf_counter() - setup_start
+    options = ExecOptions(batch=batch, obs=obs)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -118,12 +115,46 @@ def _time_run(make_runner: Callable, batch: bool
     finally:
         if gc_was_enabled:
             gc.enable()
-    return wall, metrics
+    return setup_wall, wall, metrics
+
+
+def _measure_obs_overhead(make_runner: Callable, repeats: int) -> Dict:
+    """Overhead of attaching an ObsContext with the tracer *disabled*
+    (instrumentation hooks installed, no event emission) vs no context at
+    all — the acceptance bar is < 5% with unchanged simulated metrics."""
+    from repro.obs import ObsContext, Tracer
+
+    plain: List[float] = []
+    attached: List[float] = []
+    m_plain = m_obs = None
+    for _ in range(max(repeats, 3)):
+        _, wall, m_plain = _time_run(make_runner, batch=True)
+        plain.append(wall)
+        obs = ObsContext(tracer=Tracer(enabled=False))
+        _, wall, m_obs = _time_run(make_runner, batch=True, obs=obs)
+        attached.append(wall)
+    identical = (_metrics_fingerprint(m_plain)
+                 == _metrics_fingerprint(m_obs))
+    base, instrumented = min(plain), min(attached)
+    return {
+        "baseline_wall_seconds": round(base, 4),
+        "tracer_disabled_wall_seconds": round(instrumented, 4),
+        "overhead_pct": round((instrumented - base) / base * 100.0, 2)
+        if base > 0 else None,
+        "simulated_metrics_identical": identical,
+    }
 
 
 def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
-                  repeats: int = 1) -> Dict:
-    """Run every workload in both modes; returns the BENCH_1 payload."""
+                  repeats: int = 1, trace_dir: str = None,
+                  measure_obs: bool = False) -> Dict:
+    """Run every workload in both modes; returns the BENCH_1 payload.
+
+    ``trace_dir`` additionally re-runs each workload once (batch mode,
+    untimed) with full tracing and writes ``<workload>.trace.jsonl`` plus
+    ``<workload>.chrome.json`` there.  ``measure_obs`` adds a per-workload
+    ``observability`` section with the tracer-disabled overhead.
+    """
     results: Dict = {
         "benchmark": "wallclock-batch-vs-per-tuple",
         "smoke": smoke,
@@ -136,11 +167,14 @@ def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
         # penalizes both modes equally rather than whichever ran last.
         runs_tuple = []
         runs_batch = []
+        setup_walls = []
         for r in range(repeats):
             order = (False, True) if r % 2 == 0 else (True, False)
             for batch in order:
-                run = _time_run(make_runner, batch=batch)
-                (runs_batch if batch else runs_tuple).append(run)
+                setup_wall, wall, metrics = _time_run(make_runner,
+                                                      batch=batch)
+                setup_walls.append(setup_wall)
+                (runs_batch if batch else runs_tuple).append((wall, metrics))
         per_tuple_wall = min(wall for wall, _ in runs_tuple)
         batch_wall = min(wall for wall, _ in runs_batch)
         m_tuple = runs_tuple[0][1]
@@ -152,7 +186,8 @@ def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
                 f"{name}: simulated metrics diverge between per-tuple and "
                 f"batch modes\nper-tuple: {fp_tuple}\nbatch:     {fp_batch}")
         tuples = sum(it.tuples_processed for it in m_batch.iterations)
-        results["workloads"][name] = {
+        entry = {
+            "setup_wall_seconds": round(min(setup_walls), 4),
             "per_tuple_wall_seconds": round(per_tuple_wall, 4),
             "batch_wall_seconds": round(batch_wall, 4),
             "speedup": round(speedup(per_tuple_wall, batch_wall), 3),
@@ -165,7 +200,34 @@ def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
             "strata": m_batch.num_iterations,
             "simulated_metrics_identical": True,
         }
+        if measure_obs:
+            entry["observability"] = _measure_obs_overhead(make_runner,
+                                                           repeats)
+        if trace_dir:
+            entry["trace_files"] = _emit_traces(make_runner, name, trace_dir)
+        results["workloads"][name] = entry
     return results
+
+
+def _emit_traces(make_runner: Callable, name: str, trace_dir: str) -> Dict:
+    """One fully-traced (untimed) batch run; writes JSONL + Chrome JSON."""
+    import os
+
+    from repro.obs import (JsonlSink, ObsContext, RingBufferSink, Tracer,
+                           chrome_trace)
+
+    os.makedirs(trace_dir, exist_ok=True)
+    jsonl_path = os.path.join(trace_dir, f"{name}.trace.jsonl")
+    chrome_path = os.path.join(trace_dir, f"{name}.chrome.json")
+    obs = ObsContext(tracer=Tracer(
+        sinks=[RingBufferSink(), JsonlSink(jsonl_path)]))
+    try:
+        make_runner()(ExecOptions(batch=True, obs=obs))
+        with open(chrome_path, "w") as fh:
+            json.dump(chrome_trace(obs.tracer.events()), fh)
+    finally:
+        obs.close()
+    return {"jsonl": jsonl_path, "chrome": chrome_path}
 
 
 def main(argv=None) -> int:
@@ -179,12 +241,20 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--repeats", type=int, default=1,
                         help="timing repeats per mode (min is reported)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write per-workload trace files (JSONL + "
+                             "Chrome trace JSON) into this directory")
+    parser.add_argument("--measure-obs", action="store_true",
+                        help="also measure observability overhead with the "
+                             "tracer disabled (reported per workload)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
     results = run_benchmark(smoke=args.smoke, nodes=args.nodes,
-                            seed=args.seed, repeats=args.repeats)
+                            seed=args.seed, repeats=args.repeats,
+                            trace_dir=args.trace_dir,
+                            measure_obs=args.measure_obs)
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from typing import Any, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.common.errors import ReproError
+from repro.obs import (JsonlSink, ObsContext, RingBufferSink, Tracer,
+                       chrome_trace, explain_analyze)
 from repro.rql.api import RQLSession
 from repro.runtime.executor import ExecOptions
 
@@ -94,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print simulated runtime metrics")
     parser.add_argument("--limit", type=int, default=None,
                         help="print at most N result rows")
+    parser.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                        help="write structured trace events as JSON lines")
+    parser.add_argument("--trace-chrome", metavar="FILE.json", default=None,
+                        help="write a Chrome trace-event / Perfetto JSON "
+                             "file (load at ui.perfetto.dev)")
+    parser.add_argument("--analyze", action="store_true",
+                        help="print an EXPLAIN ANALYZE report (per-operator "
+                             "cost table and per-stratum timeline) after "
+                             "the query runs")
     return parser
 
 
@@ -122,15 +134,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              replication=args.replication)
 
     session = RQLSession(cluster)
+    obs = None
+    if args.trace or args.trace_chrome or args.analyze:
+        sinks = [RingBufferSink()]
+        if args.trace:
+            sinks.append(JsonlSink(args.trace))
+        obs = ObsContext(tracer=Tracer(sinks=sinks))
     try:
         if args.explain:
             print(session.explain(query, with_estimates=True))
             return 0
-        options = ExecOptions(max_strata=args.max_strata)
+        options = ExecOptions(max_strata=args.max_strata, obs=obs)
         result = session.execute(query, options)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if obs is not None:
+            obs.close()  # flush the JSONL sink even on error
 
     rows = result.rows
     shown = rows if args.limit is None else rows[:args.limit]
@@ -143,6 +164,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"-- {len(rows)} rows, {m.num_iterations} iterations, "
               f"{m.total_seconds():.4f}s simulated, "
               f"{m.total_bytes()} bytes shuffled", file=sys.stderr)
+    if obs is not None:
+        if args.trace_chrome:
+            with open(args.trace_chrome, "w") as fh:
+                json.dump(chrome_trace(obs.tracer.events()), fh)
+        if args.analyze:
+            print(file=sys.stderr)
+            print(explain_analyze(obs, result.metrics), file=sys.stderr)
     return 0
 
 

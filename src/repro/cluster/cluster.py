@@ -78,38 +78,48 @@ class Worker:
         self._net_out_tally.clear()
 
     # -- charging -------------------------------------------------------
-    def charge_cpu(self, seconds: float, n: int = 1) -> None:
+    # Every charge_* method returns the total seconds it charged.  The
+    # simulation ignores the return value; the observability layer
+    # (repro.obs.context) wraps these methods to attribute charged time to
+    # the operator whose frame is active.
+    def charge_cpu(self, seconds: float, n: int = 1) -> float:
         """Charge ``n`` identical CPU costs of ``seconds`` each."""
         seconds /= self.cost.cpu_factor(self.id)
         tally = self._cpu_tally
         tally[seconds] = tally.get(seconds, 0) + n
+        return seconds * n
 
-    def charge_tuples(self, n: int, per_tuple: Optional[float] = None) -> None:
+    def charge_tuples(self, n: int, per_tuple: Optional[float] = None) -> float:
         cost = self.cost.cpu_tuple_cost if per_tuple is None else per_tuple
         seconds = cost / self.cost.cpu_factor(self.id)
         tally = self._cpu_tally
         tally[seconds] = tally.get(seconds, 0) + n
+        return seconds * n
 
-    def charge_disk_bytes(self, nbytes: int) -> None:
+    def charge_disk_bytes(self, nbytes: int) -> float:
         seconds = nbytes / self.cost.disk_bandwidth
         tally = self._disk_tally
         tally[seconds] = tally.get(seconds, 0) + 1
+        return seconds
 
-    def charge_disk_seek(self, count: int = 1) -> None:
+    def charge_disk_seek(self, count: int = 1) -> float:
         tally = self._disk_tally
         seconds = self.cost.disk_seek
         tally[seconds] = tally.get(seconds, 0) + count
+        return seconds * count
 
-    def charge_net_out(self, nbytes: int, messages: int = 1) -> None:
+    def charge_net_out(self, nbytes: int, messages: int = 1) -> float:
         seconds = (nbytes / self.cost.net_bandwidth
                    + messages * self.cost.net_latency)
         tally = self._net_out_tally
         tally[seconds] = tally.get(seconds, 0) + 1
+        return seconds
 
-    def charge_net_in(self, nbytes: int) -> None:
+    def charge_net_in(self, nbytes: int) -> float:
         seconds = nbytes / self.cost.net_bandwidth
         tally = self._net_in_tally
         tally[seconds] = tally.get(seconds, 0) + 1
+        return seconds
 
     def add_state_bytes(self, nbytes: int) -> None:
         """Track operator state growth; beyond the memory budget, the
@@ -125,7 +135,7 @@ class Worker:
             return 0.0
         return 1.0 - self.cost.worker_memory_bytes / self.state_bytes
 
-    def charge_state_access(self, nbytes: int = 64) -> None:
+    def charge_state_access(self, nbytes: int = 64) -> float:
         """Probe/lookup against operator state: free in memory, disk time
         proportional to the spilled fraction otherwise ("repeatedly scan
         or probe against disk-based storage", Section 4)."""
@@ -135,6 +145,8 @@ class Worker:
                                   + self.cost.disk_seek / 256.0)
             tally = self._disk_tally
             tally[seconds] = tally.get(seconds, 0) + 1
+            return seconds
+        return 0.0
 
     def end_stratum(self) -> ResourceUsage:
         """Roll the stratum usage into totals and return it."""

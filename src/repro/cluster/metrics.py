@@ -78,3 +78,18 @@ class QueryMetrics:
         if duration <= 0 or self.num_nodes == 0:
             return 0.0
         return self.total_bytes() / self.num_nodes / duration
+
+    def fingerprint(self) -> tuple:
+        """Everything the simulator decides, as a hashable digest.
+
+        Two runs of the same query must fingerprint identically across
+        execution modes (batch vs per-tuple) and with or without
+        observability instrumentation attached — the engine's
+        bit-identical-simulation contract."""
+        return (
+            self.num_iterations,
+            tuple((it.seconds, it.bytes_sent, it.delta_count,
+                   it.tuples_processed, it.mutable_size)
+                  for it in self.iterations),
+            self.total_seconds(),
+        )

@@ -111,11 +111,17 @@ class Delta:
         raise ValueError("UPDATE deltas are not mechanically invertible")
 
     def __repr__(self):
+        """Compact, annotation-first notation matching the paper's
+        Definition 1: ``Δ+(...)``, ``Δ-(...)``, ``Δ->(new|old=...)``,
+        ``Δδ(row|payload=...)``.  The annotation symbol always leads, so a
+        log line's kind is readable without parsing row images."""
+        row = ",".join(repr(v) for v in self.row)
         if self.op is DeltaOp.REPLACE:
-            return f"Δ({self.old!r} -> {self.row!r})"
+            old = ",".join(repr(v) for v in self.old)
+            return f"Δ->({row}|old=({old}))"
         if self.op is DeltaOp.UPDATE:
-            return f"Δ(δ[{self.payload!r}] {self.row!r})"
-        return f"Δ({self.op.value}{self.row!r})"
+            return f"Δδ(({row})|payload={self.payload!r})"
+        return f"Δ{self.op.value}({row})"
 
 
 def insert(row: Row) -> Delta:

@@ -48,4 +48,7 @@ class Punctuation:
         return self.kind is PunctuationKind.END_OF_QUERY
 
     def __repr__(self):
-        return f"Punct({self.kind.value}@{self.stratum})"
+        """Compact marker notation: ``Punct(eos@3)`` closes stratum 3,
+        ``Punct(eoq@3)`` ends the query there."""
+        kind = "eoq" if self.kind is PunctuationKind.END_OF_QUERY else "eos"
+        return f"Punct({kind}@{self.stratum})"

@@ -83,6 +83,10 @@ class SimulatedNetwork:
         self.total_bytes = 0
         self.bytes_by_node: Dict[int, int] = {}
         self._dead: set = set()
+        #: Optional observability hook (repro.obs): an object with
+        #: ``on_send(msg, wire_bytes)`` / ``on_deliver(msg)``.  Purely
+        #: passive — it never affects delivery or byte accounting.
+        self.observer = None
 
     def register(self, node: int, exchange: str,
                  handler: Callable[[Message], None]) -> None:
@@ -105,6 +109,7 @@ class SimulatedNetwork:
     def send(self, msg: Message) -> None:
         if msg.src in self._dead:
             return  # a dead node cannot transmit
+        nbytes = 0  # local sends cost nothing on the wire
         if msg.src != msg.dst:
             nbytes = msg.size_bytes()
             self.total_bytes += nbytes
@@ -114,6 +119,8 @@ class SimulatedNetwork:
             stats.bytes += nbytes
             if self._on_bytes is not None:
                 self._on_bytes(msg.src, msg.dst, nbytes)
+        if self.observer is not None:
+            self.observer.on_send(msg, nbytes)
         self._queue.append(msg)
 
     def pending(self) -> int:
@@ -135,6 +142,8 @@ class SimulatedNetwork:
             raise ExecutionError(
                 f"no handler for exchange {msg.exchange!r} on node {msg.dst}"
             )
+        if self.observer is not None:
+            self.observer.on_deliver(msg)
         handler(msg)
 
     def drain(self) -> int:

@@ -1,0 +1,162 @@
+"""Named metrics registry: counters, gauges, histograms, and series.
+
+Every instrument is identified by a dotted lowercase path following the
+naming scheme (see docs/observability.md):
+
+``<component>.<instance>.<metric>``
+
+* ``op.n<node>.<Operator#k>.tuples_in`` — per-operator dataflow counters;
+* ``memo.rehash.<op>.hits`` / ``.misses`` / ``.evictions`` — PR 1 memo caches;
+* ``net.exchange.<exchange>.bytes`` — per-channel traffic;
+* ``fixpoint.n<node>.delta_out`` — Δ-set sizes over strata (a series);
+* ``stratum.seconds`` — per-stratum simulated wall time (a series).
+
+The registry is get-or-create: asking for the same name twice returns the
+same instrument; asking for an existing name with a different instrument
+type is an error (names are globally unique).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A streaming summary of observed values: count/sum/min/max.
+
+    Kept deliberately light (no buckets): the report layer derives means,
+    and full distributions belong in trace events, not the registry.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+    def __repr__(self):
+        return (f"Histogram({self.name}: n={self.count} "
+                f"mean={self.mean:.4g})")
+
+
+class Series:
+    """An ordered (index, value) time series — sizes over strata."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points: List[Tuple[int, float]] = []
+
+    def append(self, index: int, value) -> None:
+        self.points.append((index, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def snapshot(self):
+        return list(self.points)
+
+    def __repr__(self):
+        return f"Series({self.name}: {len(self.points)} points)"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name)
+        elif type(inst) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series)
+
+    def get(self, name: str):
+        """Look up an instrument without creating it (None if absent)."""
+        return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
+        """A plain-data dump of every instrument under ``prefix``."""
+        return {n: self._instruments[n].snapshot()
+                for n in self.names(prefix)}
+
+    def __len__(self):
+        return len(self._instruments)

@@ -1,0 +1,274 @@
+"""Structured event tracing for the delta engine.
+
+A :class:`Tracer` emits :class:`TraceEvent` records to pluggable sinks.
+Event categories mirror the engine's moving parts:
+
+* ``operator`` — one record per ``receive``/``push_batch`` call, carrying
+  the operator id, input port, delta counts by annotation kind, and the
+  call's wall-clock duration;
+* ``exchange`` — one record per network send/delivery with exchange id,
+  endpoints, delta count and wire bytes;
+* ``stratum`` — begin/end of each fixpoint stratum with its simulated
+  seconds, Δ-set size and bytes shuffled;
+* ``checkpoint`` — Δ-set replication writes and recovery restores.
+
+Timestamps are wall-clock seconds from the tracer's epoch
+(``time.perf_counter`` based); simulated time never appears in ``ts`` —
+it travels in ``args`` so the two clocks cannot be confused.
+
+The Chrome trace-event export (:func:`chrome_trace`) renders the same
+records as ``{"traceEvents": [...]}`` JSON that loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``, one process row per
+simulated node.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: JSON-lines schema: keys every serialized event must carry.
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "node")
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured record.
+
+    ``ph`` follows the Chrome trace-event phase vocabulary: ``"X"`` for a
+    complete span (with ``dur``), ``"i"`` for an instant event.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    node: int
+    dur: float = 0.0
+    stratum: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": self.ts, "node": self.node,
+        }
+        if self.ph == "X":
+            d["dur"] = self.dur
+        if self.stratum is not None:
+            d["stratum"] = self.stratum
+        if self.args:
+            d["args"] = self.args
+        return d
+
+
+class TraceSink:
+    """Receives events; subclasses override :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release any underlying resource (idempotent)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.buffer: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if (self.buffer.maxlen is not None
+                and len(self.buffer) == self.buffer.maxlen):
+            self.dropped += 1
+        self.buffer.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self.buffer)
+
+
+class JsonlSink(TraceSink):
+    """Streams each event as one JSON object per line."""
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w")
+            self._owns = True
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True,
+                                  default=str))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer:
+    """Front-end the instrumentation layer writes through.
+
+    ``enabled=False`` turns every emit into a no-op; the engine goes one
+    step further and never installs instrumentation hooks at all unless an
+    observability context is attached (see :mod:`repro.obs.context`), so a
+    run without one pays zero tracing overhead.
+    """
+
+    def __init__(self, sinks: Iterable[TraceSink] = (), enabled: bool = True,
+                 clock=time.perf_counter):
+        self.sinks: List[TraceSink] = list(sinks)
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock()
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return self._clock() - self._epoch
+
+    def emit(self, event: TraceEvent) -> None:
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def instant(self, name: str, cat: str, node: int,
+                stratum: Optional[int] = None, **args) -> None:
+        if not self.enabled:
+            return
+        self.emit(TraceEvent(name, cat, "i", self.now(), node,
+                             stratum=stratum, args=args))
+
+    def complete(self, name: str, cat: str, node: int, ts: float, dur: float,
+                 stratum: Optional[int] = None, **args) -> None:
+        if not self.enabled:
+            return
+        self.emit(TraceEvent(name, cat, "X", ts, node, dur=dur,
+                             stratum=stratum, args=args))
+
+    def events(self) -> List[TraceEvent]:
+        """Events from the first ring-buffer sink (convenience)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events()
+        return []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def chrome_trace(events: Iterable[TraceEvent],
+                 process_name: str = "rex-node") -> Dict[str, Any]:
+    """Render events as a Chrome trace-event / Perfetto JSON object.
+
+    Each simulated node becomes one process (pid = node id); the requestor
+    (node -1) is mapped to its own row.  Timestamps are converted from
+    seconds to the format's microseconds.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    nodes_seen = set()
+    for ev in events:
+        pid = ev.node
+        if pid not in nodes_seen:
+            nodes_seen.add(pid)
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"{process_name} {pid}" if pid >= 0
+                         else f"{process_name} requestor"},
+            })
+        record: Dict[str, Any] = {
+            "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+            "ts": ev.ts * 1e6, "pid": pid, "tid": 0,
+        }
+        if ev.ph == "X":
+            record["dur"] = ev.dur * 1e6
+        args = dict(ev.args)
+        if ev.stratum is not None:
+            args["stratum"] = ev.stratum
+        if args:
+            record["args"] = args
+        if ev.ph == "i":
+            record["s"] = "t"  # instant scope: thread
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_jsonl(lines: Iterable[str]) -> int:
+    """Validate a JSON-lines trace stream; returns the event count.
+
+    Raises ``ValueError`` on the first malformed line (bad JSON, missing
+    required keys, or a complete span without a duration).
+    """
+    count = 0
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {i}: invalid JSON: {exc}") from None
+        for key in REQUIRED_KEYS:
+            if key not in record:
+                raise ValueError(f"line {i}: missing key {key!r}")
+        if record["ph"] not in ("X", "i", "M"):
+            raise ValueError(f"line {i}: unknown phase {record['ph']!r}")
+        if record["ph"] == "X" and "dur" not in record:
+            raise ValueError(f"line {i}: complete event without dur")
+        count += 1
+    return count
+
+
+#: Exchange ids carry a per-attempt uniquifier (``x0.a3``) so restarted
+#: queries never collide with stale handlers; the *logical* channel is the
+#: part before ``.a<N>``.  Canonicalizing it keeps fingerprints comparable
+#: across runs in one process.
+_ATTEMPT_SUFFIX = re.compile(r"\.a\d+\b")
+
+
+def _canon(name: Any) -> Any:
+    return _ATTEMPT_SUFFIX.sub("", name) if isinstance(name, str) else name
+
+
+def delta_flow_fingerprint(events: Iterable[TraceEvent]) -> tuple:
+    """A canonical digest of *what flowed where*, invariant to batching.
+
+    Batch and per-tuple execution produce different numbers of operator
+    events (one per batch vs one per delta) but move the same multiset of
+    deltas through the same operators in the same strata.  The fingerprint
+    therefore aggregates: per (stratum, node, operator, annotation kind)
+    input delta counts, per (stratum, exchange) wire bytes and delta
+    counts, and the ordered stratum boundary sequence.  Operator and
+    exchange names are canonicalized (the per-attempt ``.a<N>`` exchange
+    uniquifier is stripped).  Two runs of the same query in different
+    execution modes must fingerprint identically.
+    """
+    op_counts: Dict[tuple, int] = {}
+    exchange_counts: Dict[tuple, int] = {}
+    strata: List[tuple] = []
+    for ev in events:
+        if ev.cat == "operator":
+            kinds = ev.args.get("kinds") or {}
+            for kind, n in kinds.items():
+                key = (ev.stratum, ev.node,
+                       _canon(ev.args.get("op", ev.name)), kind)
+                op_counts[key] = op_counts.get(key, 0) + n
+        elif ev.cat == "exchange" and ev.name == "send":
+            key = (ev.stratum, _canon(ev.args.get("exchange")))
+            exchange_counts[key] = (exchange_counts.get(key, 0)
+                                    + ev.args.get("deltas", 0))
+        elif ev.cat == "stratum" and ev.name == "stratum.end":
+            strata.append((ev.stratum, ev.args.get("delta_count"),
+                           ev.args.get("bytes_sent")))
+    return (tuple(sorted(op_counts.items())),
+            tuple(sorted(exchange_counts.items())),
+            tuple(strata))

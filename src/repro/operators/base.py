@@ -46,13 +46,18 @@ class ExecContext:
 
     def __init__(self, worker, cluster=None, snapshot=None,
                  hooks: Optional[RuntimeHooks] = None, registry=None,
-                 batch: bool = False):
+                 batch: bool = False, obs=None):
         self.worker = worker
         self.cluster = cluster
         self.snapshot = snapshot
         self.hooks = hooks or RuntimeHooks()
         self.registry = registry
         self.batch = batch
+        #: Optional :class:`repro.obs.ObsContext`.  When set, every
+        #: operator opened against this context is instrumented (tracing,
+        #: per-operator metrics, cost attribution); when ``None`` — the
+        #: default — no hook is installed anywhere on the hot path.
+        self.obs = obs
 
     @property
     def node_id(self) -> int:
@@ -115,8 +120,17 @@ class Operator:
         self._punct_quota[port] = quota
 
     def open(self, ctx: ExecContext) -> None:
-        """Bind the operator to its worker context (called once per query)."""
+        """Bind the operator to its worker context (called once per query).
+
+        With an observability context attached, this is also where the
+        operator's entry points get their instrumentation wrappers —
+        subclass ``open`` overrides call ``super().open(ctx)`` first, so
+        anything they register afterwards (e.g. a network handler) already
+        sees the wrapped bound methods.
+        """
         self.ctx = ctx
+        if ctx.obs is not None:
+            ctx.obs.instrument_operator(self, ctx.node_id)
 
     # -- data path -------------------------------------------------------
     def receive(self, delta: Delta, port: int = 0) -> None:

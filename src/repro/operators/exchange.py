@@ -29,6 +29,12 @@ class RehashSender(Operator):
     images live in different partitions.
     """
 
+    #: Routing-memo capacity: the row->destination cache is wiped when it
+    #: reaches this many entries (bulk eviction keeps the hot loop to one
+    #: dict probe).  Class attribute so tests can pin eviction behavior
+    #: with a small cap.
+    memo_cap: int = 131072
+
     def __init__(self, exchange: str,
                  key_fn: Optional[Callable[[tuple], tuple]] = None,
                  batch_size: int = 256, broadcast: bool = False,
@@ -45,6 +51,13 @@ class RehashSender(Operator):
         # set changes (node failure re-routes ranges mid-query).
         self._dst_cache: Dict[tuple, int] = {}
         self._dst_version = -1
+        # Memo accounting, surfaced by repro.obs as memo.rehash.* counters.
+        # Only exceptional branches touch these per-delta (misses, cap
+        # evictions); hits are reconstructed once per batch, so the
+        # counters cost nothing measurable when observability is off.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
 
     def open(self, ctx):
         super().open(ctx)
@@ -112,29 +125,39 @@ class RehashSender(Operator):
         primary = snapshot.primary
         replace = DeltaOp.REPLACE
         if self._dst_version != snapshot.version:
+            if self._dst_cache:
+                # Snapshot change (failure re-routing) invalidates every
+                # memoized destination: count it as a bulk eviction.
+                self.memo_evictions += len(self._dst_cache)
             self._dst_cache.clear()
             self._dst_version = snapshot.version
         # The memo is keyed by the *row*, not the extracted key: equal rows
         # extract equal keys (key functions are pure), so a hit skips both
         # the key_fn call and the ring lookup.
         dst_for_row = self._dst_cache
+        memo_cap = self.memo_cap
+        misses = splits = 0
         for delta in deltas:
             row = delta.row
             if delta.op is replace:
                 if key_fn(delta.old) != key_fn(row):
                     # Split replacement: two partitions; route each half
                     # exactly as the per-tuple path would.
+                    splits += 1
                     self._route(Delta(DeltaOp.DELETE, delta.old))
                     self._route(Delta(DeltaOp.INSERT, row))
                     continue
             try:
                 dst = dst_for_row[row]
             except KeyError:
+                misses += 1
                 dst = primary(normalize(key_fn(row)))
-                if len(dst_for_row) >= 131072:
+                if len(dst_for_row) >= memo_cap:
+                    self.memo_evictions += len(dst_for_row)
                     dst_for_row.clear()
                 dst_for_row[row] = dst
             except TypeError:
+                misses += 1  # unhashable row: uncacheable lookup
                 dst = primary(normalize(key_fn(row)))
             try:
                 buf = buffers[dst]
@@ -143,6 +166,8 @@ class RehashSender(Operator):
             buf.append(delta)
             if len(buf) >= batch_size:
                 flush(dst)
+        self.memo_misses += misses
+        self.memo_hits += len(deltas) - splits - misses
 
     def _flush(self, dst: int) -> None:
         batch = self._buffers.pop(dst, None)

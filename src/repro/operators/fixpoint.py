@@ -229,6 +229,13 @@ class Fixpoint(Operator):
         else:
             raise ExecutionError(f"unknown feedback mode {mode!r}")
         self.admitted_this_stratum = 0
+        ctx = self.ctx
+        if ctx is not None and ctx.obs is not None:
+            # Per-worker Δ-set / mutable-set size series (Figures 2-3 at
+            # node granularity); recorded here because take_pending is the
+            # stratum boundary as seen by this fixpoint.
+            ctx.obs.record_fixpoint(ctx.node_id, ctx.obs.stratum,
+                                    len(out), self.mutable_size())
         return out
 
     def mutable_size(self) -> int:

@@ -40,6 +40,11 @@ class _Group:
 class GroupBy(Operator):
     """Hash aggregation keyed by a compiled key extractor."""
 
+    #: Key-memo capacity: the row->key cache is wiped when it reaches this
+    #: many entries.  Class attribute so tests can pin eviction behavior
+    #: with a small cap.
+    key_memo_cap: int = 65536
+
     def __init__(self, key_fn: Callable[[tuple], tuple],
                  specs: Sequence[AggregateSpec],
                  mode: str = "stratum",
@@ -57,6 +62,12 @@ class GroupBy(Operator):
         self.groups: Dict[tuple, _Group] = {}
         self._dirty: Dict[tuple, None] = {}  # insertion-ordered set
         self._key_memo: Dict[tuple, tuple] = {}  # row -> extracted key
+        # Memo accounting, surfaced by repro.obs as memo.groupby.* counters.
+        # Per-delta work lives only in the rare branches (miss, eviction);
+        # hits are reconstructed once per batch.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
 
     def open(self, ctx):
         super().open(ctx)
@@ -168,10 +179,15 @@ class GroupBy(Operator):
         # row -> key memo: group keys repeat heavily (every δ aimed at a
         # group re-extracts the same key), and key functions are pure.
         key_memo = self._key_memo
+        key_memo_cap = self.key_memo_cap
+        misses = bypassed = 0
         for delta in deltas:
             op = delta.op
             row = delta.row
             if op is replace:
+                # Replacements carry two row images, so they always
+                # extract keys directly and bypass the memo.
+                bypassed += 1
                 old_key = key_fn(delta.old)
                 key = key_fn(row)
                 if old_key != key:
@@ -183,10 +199,13 @@ class GroupBy(Operator):
                 try:
                     key = key_memo[row]
                 except KeyError:
-                    if len(key_memo) >= 65536:
+                    misses += 1
+                    if len(key_memo) >= key_memo_cap:
+                        self.memo_evictions += len(key_memo)
                         key_memo.clear()
                     key = key_memo[row] = key_fn(row)
                 except TypeError:
+                    misses += 1  # unhashable row: uncacheable lookup
                     key = key_fn(row)
             if worker.state_bytes > memory_budget:
                 charge_state_access()
@@ -246,6 +265,8 @@ class GroupBy(Operator):
                 charge_cpu(per_delta, charge_counts[i])
         if udf_charges:
             charge_cpu(udf_cost, udf_charges)
+        self.memo_misses += misses
+        self.memo_hits += len(deltas) - bypassed - misses
 
     # -- emission ----------------------------------------------------------
     def _flush_key(self, key: tuple, group: _Group,

@@ -231,3 +231,13 @@ class HashJoin(Operator):
     def state_size(self) -> int:
         return sum(len(left) + len(right)
                    for left, right in self.buckets.values())
+
+    def state_breakdown(self) -> Dict[str, int]:
+        """Side-resolved state summary for the observability registry:
+        number of distinct join keys and accumulated rows per side."""
+        left_rows = right_rows = 0
+        for left, right in self.buckets.values():
+            left_rows += len(left)
+            right_rows += len(right)
+        return {"keys": len(self.buckets),
+                "left_rows": left_rows, "right_rows": right_rows}

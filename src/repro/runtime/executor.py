@@ -97,12 +97,21 @@ class ExecOptions:
     ``push_batch`` instead of one virtual call per delta.  Simulated
     metrics (seconds, bytes, delta counts, strata) are identical in both
     modes; only wall-clock changes.  Set False for the per-tuple path."""
+    obs: Optional[object] = None
+    """A :class:`repro.obs.ObsContext` to instrument this run with
+    (structured tracing, per-operator metrics, EXPLAIN ANALYZE
+    attribution).  ``None`` — the default — installs no hooks at all:
+    simulated metrics are bit-identical either way, but the disabled path
+    also pays zero wall-clock overhead."""
 
 
 @dataclass
 class QueryResult:
     rows: List[tuple]
     metrics: QueryMetrics
+    obs: Optional[object] = None
+    """The run's :class:`repro.obs.ObsContext` (if one was attached), with
+    its registry published — ready for ``repro.obs.explain_analyze``."""
 
 
 class _MetricsHooks(RuntimeHooks):
@@ -178,11 +187,16 @@ class QueryExecutor:
                                exchange=self._collect_exchange,
                                expected_workers=len(live))
         self.metrics.num_nodes = len(live)
+        obs = self.options.obs
+        if obs is not None:
+            obs.instrument_network(self.cluster.network)
         for node_id in live:
             worker = self.cluster.worker(node_id)
+            if obs is not None:
+                obs.instrument_worker(worker)
             ctx = ExecContext(worker, cluster=self.cluster,
                               snapshot=self.snapshot, hooks=self._hooks,
-                              batch=self.options.batch)
+                              batch=self.options.batch, obs=obs)
             wp = _WorkerPlan(node_id)
             self.worker_plans[node_id] = wp
             self._build(plan.root, None, ctx, wp, len(live))
@@ -269,14 +283,20 @@ class QueryExecutor:
         self._final_flush()
         rows = self.sink.rows() if self.options.collect_result else []
         self.metrics.result_rows = len(rows)
-        return QueryResult(rows=rows, metrics=self.metrics)
+        obs = self.options.obs
+        if obs is not None:
+            obs.publish()
+        return QueryResult(rows=rows, metrics=self.metrics, obs=obs)
 
     def _run_strata(self, plan: PhysicalPlan) -> Optional[QueryResult]:
         opts = self.options
+        obs = opts.obs
         stratum = 0
         while True:
             it = self.metrics.begin_iteration(stratum)
             self._hooks.current = it
+            if obs is not None:
+                obs.begin_stratum(stratum)
             bytes_before = self.cluster.network.total_bytes
             for wp in self._live_plans():
                 for source in wp.sources:
@@ -296,12 +316,23 @@ class QueryExecutor:
                         pending[wp.worker_id] = wp.fixpoint.take_pending(
                             opts.feedback_mode)
                 if opts.checkpointing:
-                    self._replicate_checkpoints(pending)
-                    self.cluster.network.drain()
+                    if obs is not None:
+                        # Checkpoint traffic is control-plane cost: charge
+                        # it to a named system activity, not an operator.
+                        with obs.system_frame("(checkpoint)"):
+                            self._replicate_checkpoints(pending)
+                            self.cluster.network.drain()
+                    else:
+                        self._replicate_checkpoints(pending)
+                        self.cluster.network.drain()
 
             it.seconds = (self.cluster.end_stratum_wall_time()
                           + self.cluster.cost.rex_stratum_overhead)
             it.bytes_sent = self.cluster.network.total_bytes - bytes_before
+            if obs is not None:
+                obs.end_stratum(stratum, it.seconds, it.bytes_sent,
+                                it.delta_count, it.mutable_size,
+                                it.tuples_processed)
 
             due = [spec for spec in opts.failure_specs()
                    if spec.after_stratum == stratum]
@@ -367,6 +398,7 @@ class QueryExecutor:
         key_fn = self._fixpoint_key_fn
         original_replicas = self.snapshot.original_replicas
         add_checkpointed = self._checkpointed_keys.add
+        obs = self.options.obs
         for worker_id, deltas in pending.items():
             batches: Dict[int, List[Delta]] = {}
             for delta in deltas:
@@ -380,6 +412,8 @@ class QueryExecutor:
                     src=worker_id, dst=dst,
                     exchange=self._ckpt_exchange, deltas=batch,
                 ))
+            if obs is not None and deltas:
+                obs.checkpoint_write(worker_id, len(deltas), len(batches))
 
     # ------------------------------------------------------------------
     # Failure handling (Section 4.3, Figure 12)
@@ -405,7 +439,12 @@ class QueryExecutor:
 
         if self.options.recovery == "restart":
             return self._restart(plan)
-        self._recover_incrementally(victim)
+        obs = self.options.obs
+        if obs is not None:
+            with obs.system_frame("(recovery)"):
+                self._recover_incrementally(victim)
+        else:
+            self._recover_incrementally(victim)
         return None
 
     def _restart(self, plan: PhysicalPlan) -> QueryResult:
@@ -421,6 +460,7 @@ class QueryExecutor:
             recovery=self.options.recovery,
             collect_result=self.options.collect_result,
             batch=self.options.batch,
+            obs=self.options.obs,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)
@@ -458,6 +498,7 @@ class QueryExecutor:
 
         # (a) immutable data hand-off from storage replicas: every row the
         # victim was serving (its own ranges plus any it inherited).
+        reread_total = 0
         for table_name in self._plan.tables():
             table = self.cluster.catalog.get(table_name)
             key_index = table._key_index
@@ -485,6 +526,7 @@ class QueryExecutor:
                             and scan.table.name == table_name):
                         scan.emit(Delta(DeltaOp.INSERT, row))
                 moved += 1
+            reread_total += moved
         self.cluster.network.drain()
 
         # (b) mutable-state hand-off from checkpoint replicas.
@@ -523,5 +565,8 @@ class QueryExecutor:
                 raise RecoveryError(
                     "incremental recovery requires checkpointing=True"
                 )
+        if self.options.obs is not None:
+            self.options.obs.checkpoint_restore(victim, restored,
+                                                reread_total)
         self.metrics.recovery_seconds += (
             self.cluster.end_stratum_wall_time())

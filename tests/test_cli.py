@@ -87,3 +87,40 @@ class TestCliExecution:
                    "SELECT nope FROM graph"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    QUERY = "SELECT srcId, count(*) FROM graph GROUP BY srcId"
+
+    def test_trace_writes_valid_jsonl(self, edges_csv, tmp_path, capsys):
+        from repro.obs import validate_jsonl
+
+        trace = tmp_path / "run.trace.jsonl"
+        rc = main(["--table", f"graph={edges_csv}", "--key", "graph=srcId",
+                   "--trace", str(trace), self.QUERY])
+        assert rc == 0
+        lines = trace.read_text().splitlines()
+        assert validate_jsonl(lines) == len(lines) > 0
+
+    def test_trace_chrome_writes_loadable_json(self, edges_csv, tmp_path,
+                                               capsys):
+        import json as _json
+
+        chrome = tmp_path / "run.chrome.json"
+        rc = main(["--table", f"graph={edges_csv}", "--key", "graph=srcId",
+                   "--trace-chrome", str(chrome), self.QUERY])
+        assert rc == 0
+        doc = _json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert any(r["ph"] == "M" for r in doc["traceEvents"])
+
+    def test_analyze_prints_report_to_stderr(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--key", "graph=srcId",
+                   "--analyze", self.QUERY])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "EXPLAIN ANALYZE" in captured.err
+        assert "operator attribution" in captured.err
+        # query results still land on stdout, untouched
+        assert sorted(captured.out.strip().splitlines()) == [
+            "0\t2", "1\t1", "2\t1"]

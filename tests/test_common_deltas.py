@@ -115,3 +115,31 @@ class TestApplyDeltas:
         applied = apply_deltas(base, forward)
         restored = apply_deltas(applied, [d.inverted() for d in reversed(forward)])
         assert restored == base | ({(99, 99)} & base)
+
+
+class TestRepr:
+    """The repr is compact and annotation-explicit: the kind symbol leads,
+    row images follow — Δ+(...), Δ-(...), Δ->(new|old=(...)), Δδ(...)."""
+
+    def test_insert(self):
+        assert repr(insert((1, 2))) == "Δ+(1,2)"
+
+    def test_delete(self):
+        assert repr(delete((1,))) == "Δ-(1)"
+
+    def test_replace_shows_both_images(self):
+        assert repr(replace((1, "a"), (1, "b"))) == "Δ->(1,'b'|old=(1,'a'))"
+
+    def test_update_shows_payload(self):
+        assert repr(update((3,), payload=0.5)) == "Δδ((3)|payload=0.5)"
+
+    def test_annotation_symbol_leads(self):
+        for d, sym in [(insert((1,)), "+"), (delete((1,)), "-"),
+                       (replace((1,), (2,)), "->"),
+                       (update((1,), payload=0), "δ")]:
+            assert repr(d).startswith("Δ" + sym)
+
+    def test_punctuation_repr(self):
+        from repro.common.punctuation import Punctuation
+        assert repr(Punctuation.end_of_stratum(3)) == "Punct(eos@3)"
+        assert repr(Punctuation.end_of_query(7)) == "Punct(eoq@7)"

@@ -49,6 +49,38 @@ class TestQueryMetrics:
         assert m.avg_bandwidth_per_node() == 0.0
         assert m.cumulative_seconds() == []
 
+    def test_recovery_reaches_cumulative_and_total_consistently(self):
+        # recovery time charged to the query must land in both views:
+        # the last cumulative point equals total_seconds.
+        m = self.make()
+        m.recovery_seconds = 2.0
+        assert m.cumulative_seconds()[-1] == pytest.approx(
+            m.total_seconds())
+
+    def test_bandwidth_with_startup_but_no_iterations(self):
+        # duration > 0 but zero bytes: well-defined 0.0, not an error
+        m = QueryMetrics(startup_seconds=1.5, num_nodes=4)
+        assert m.avg_bandwidth_per_node() == 0.0
+
+    def test_bandwidth_zero_nodes_guarded(self):
+        m = self.make()
+        m.num_nodes = 0
+        assert m.avg_bandwidth_per_node() == 0.0
+
+    def test_fingerprint_digests_per_iteration_state(self):
+        a, b = self.make(), self.make()
+        assert a.fingerprint() == b.fingerprint()
+        b.iterations[1].delta_count += 1
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_ignores_wall_clock_only_fields(self):
+        # node count and result rows are presentation-side; the simulator
+        # contract covers iteration structure and simulated seconds.
+        a, b = self.make(), self.make()
+        b.num_nodes = 99
+        b.result_rows = 123
+        assert a.fingerprint() == b.fingerprint()
+
 
 class TestSizes:
     def test_scalars(self):
