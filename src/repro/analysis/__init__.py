@@ -1,0 +1,39 @@
+"""Static analysis for REX plans and for this repository's own code.
+
+Two layers (see ``docs/analysis.md``):
+
+* **Plan analyzer** (:mod:`repro.analysis.analyzer`) — rule passes over
+  RQL logical plans and physical plans that check the invariants REX's
+  correctness rests on *before* execution: stratification, fixpoint
+  termination, UDA pre-aggregation legality, partitioning soundness,
+  delta-annotation soundness, and schema/arity/type consistency.
+  Diagnostics carry stable ``REX0xx`` codes.
+* **Simulator-invariant lint** (:mod:`repro.analysis.lint`) — a Python
+  ``ast``-based linter enforcing this repo's engineering contracts across
+  ``src/``: no wall-clock reads inside charged simulation paths,
+  order-independent (fsum-style) accumulation of charge floats,
+  ``slots=True`` frozen dataclasses for hot-path records, and no mutation
+  of :class:`~repro.common.deltas.Delta` /
+  :class:`~repro.common.punctuation.Punctuation`.  Codes are ``REX1xx``.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from repro.analysis.analyzer import analyze, analyze_logical, analyze_physical
+from repro.analysis.lint import lint_paths, lint_source
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "analyze",
+    "analyze_logical",
+    "analyze_physical",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,189 @@
+"""Diagnostic objects: stable codes, severities, locations, fix hints.
+
+Every finding either layer produces is a :class:`Diagnostic`; a
+:class:`DiagnosticReport` is an ordered collection with the filtering,
+rendering and JSON serialization the CLI and CI consume.  Codes are
+stable API: once published in ``docs/analysis.md`` a code keeps its
+meaning forever (retired codes are never reused).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make a plan unexecutable (the session refuses to
+    run it without ``--force``); ``WARNING`` findings flag likely
+    performance or robustness problems; ``INFO`` findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The published catalog: code -> (default severity, one-line title).
+#: ``REX0xx`` are plan-analyzer codes, ``REX1xx`` are lint codes.
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "REX001": (Severity.ERROR,
+               "non-stratified recursion (nested fixpoint or negation "
+               "over the recursive relation)"),
+    "REX002": (Severity.ERROR,
+               "malformed or non-terminating fixpoint"),
+    "REX003": (Severity.ERROR,
+               "illegal UDA pre-aggregation (non-composable aggregate or "
+               "partial result escaping without final aggregation)"),
+    "REX004": (Severity.ERROR,
+               "multiplicative-join pre-aggregation without multiply "
+               "compensation"),
+    "REX005": (Severity.ERROR,
+               "stateful operator input not partitioned on its key "
+               "(missing rehash exchange)"),
+    "REX006": (Severity.WARNING,
+               "redundant rehash exchange (input already partitioned)"),
+    "REX007": (Severity.WARNING,
+               "unsound delta handling (handler output uninterpreted or "
+               "handler starved of deltas)"),
+    "REX008": (Severity.ERROR,
+               "schema, arity, or type inconsistency"),
+    "REX100": (Severity.ERROR,
+               "source file could not be parsed"),
+    "REX101": (Severity.ERROR,
+               "wall-clock read inside a charged simulation path"),
+    "REX102": (Severity.WARNING,
+               "time.time() used for a duration (use perf_counter)"),
+    "REX103": (Severity.WARNING,
+               "order-dependent float accumulation of charge totals "
+               "(use an fsum-style tally)"),
+    "REX104": (Severity.ERROR,
+               "hot-path record dataclass not frozen with slots=True"),
+    "REX105": (Severity.ERROR,
+               "mutation of an immutable Delta/Punctuation record"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    ``location`` is a plan-node path (``Fixpoint/Join[PRAgg]``) for plan
+    diagnostics, or ``file:line`` for lint diagnostics.  ``hint`` says how
+    to fix it; ``detail`` says what exactly was found.
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    location: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}; "
+                             f"register it in repro.analysis.diagnostics")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][1]
+
+    def format(self) -> str:
+        loc = f" at {self.location}" if self.location else ""
+        hint = f"\n    hint: {self.hint}" if self.hint else ""
+        return f"{self.code} {self.severity}{loc}: {self.message}{hint}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+
+def make(code: str, message: str, location: str = "", hint: str = "",
+         severity: Optional[Severity] = None) -> Diagnostic:
+    """Build a diagnostic with the code's default severity unless
+    overridden (rules downgrade, e.g. a structural error to a warning
+    when the evidence is circumstantial)."""
+    return Diagnostic(code, message,
+                      severity=severity or CODES[code][0],
+                      location=location, hint=hint)
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered list of findings with the common queries over it."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def sorted(self) -> "DiagnosticReport":
+        """Errors first, then warnings, then infos; stable within a tier."""
+        return DiagnosticReport(sorted(
+            self.diagnostics, key=lambda d: -d.severity.rank))
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        lines = [d.format() for d in self.sorted()]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        lines.append(f"{len(self.diagnostics)} diagnostic(s): "
+                     f"{n_err} error(s), {n_warn} warning(s)")
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps({
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "summary": {
+                "total": len(self.diagnostics),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+        }, indent=indent)

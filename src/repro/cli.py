@@ -11,6 +11,16 @@ CSV headers name the columns; a header entry may carry an explicit type
 (``srcId:Integer``), otherwise the type is inferred from the first data
 row (int -> Integer, float -> Double, else Varchar).  ``--explain`` prints
 the optimized plan instead of executing.
+
+Two subcommands wrap the static-analysis subsystem (``repro.analysis``):
+
+    python -m repro.cli analyze --table graph=edges.csv "SELECT ..."
+    python -m repro.cli lint src [--format json]
+
+``analyze`` prints the plan diagnostics without executing (exit 1 when
+any are error-level); ``lint`` runs the simulator-invariant linter over
+source trees.  Plain query runs refuse plans with error-level
+diagnostics unless ``--force`` is given.
 """
 
 from __future__ import annotations
@@ -106,32 +116,114 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print an EXPLAIN ANALYZE report (per-operator "
                              "cost table and per-stratum timeline) after "
                              "the query runs")
+    parser.add_argument("--force", action="store_true",
+                        help="execute even if static analysis reports "
+                             "error-level diagnostics")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    query = args.query
-    if query.startswith("@"):
-        with open(query[1:]) as f:
-            query = f.read()
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli analyze",
+        description="Statically analyze a query plan without executing it.")
+    parser.add_argument("query", help="RQL query text (or @file)")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="NAME=FILE.csv",
+                        help="load a CSV file as a table (repeatable)")
+    parser.add_argument("--key", action="append", default=[],
+                        metavar="NAME=COLUMN",
+                        help="partition a table by a column (repeatable)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="number of simulated worker nodes (default 4)")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="analyze the raw compiler output (exchanges "
+                             "are added as the lowering would)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    return parser
 
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli lint",
+        description="Run the simulator-invariant linter (REX1xx codes).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    return parser
+
+
+def _build_cluster(args) -> Optional[Cluster]:
+    """Shared --table/--key loading; returns None after printing usage."""
     keys = {}
     for spec in args.key:
         name, _, column = spec.partition("=")
         keys[name] = column
-
     cluster = Cluster(args.nodes)
     for spec in args.table:
         name, _, path = spec.partition("=")
         if not path:
             print(f"error: --table expects NAME=FILE.csv, got {spec!r}",
                   file=sys.stderr)
-            return 2
+            return None
         schema, rows = load_csv(path)
         cluster.create_table(name, schema, rows,
                              partition_key=keys.get(name),
-                             replication=args.replication)
+                             replication=getattr(args, "replication", 1))
+    return cluster
+
+
+def _read_query(query: str) -> str:
+    if query.startswith("@"):
+        with open(query[1:]) as f:
+            return f.read()
+    return query
+
+
+def main_analyze(argv: List[str]) -> int:
+    args = build_analyze_parser().parse_args(argv)
+    cluster = _build_cluster(args)
+    if cluster is None:
+        return 2
+    session = RQLSession(cluster, optimize=not args.no_optimize)
+    try:
+        report = session.analyze(_read_query(args.query))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.format())
+    return 1 if report.has_errors() else 0
+
+
+def main_lint(argv: List[str]) -> int:
+    from repro.analysis.lint import lint_paths
+
+    args = build_lint_parser().parse_args(argv)
+    report = lint_paths(args.paths or ["src"])
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.format())
+    return 1 if report else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        return main_analyze(argv[1:])
+    if argv and argv[0] == "lint":
+        return main_lint(argv[1:])
+
+    args = build_parser().parse_args(argv)
+    query = _read_query(args.query)
+
+    cluster = _build_cluster(args)
+    if cluster is None:
+        return 2
 
     session = RQLSession(cluster)
     obs = None
@@ -142,10 +234,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs = ObsContext(tracer=Tracer(sinks=sinks))
     try:
         if args.explain:
-            print(session.explain(query, with_estimates=True))
+            print(session.explain(query, with_estimates=True,
+                                  with_diagnostics=True))
             return 0
         options = ExecOptions(max_strata=args.max_strata, obs=obs)
-        result = session.execute(query, options)
+        result = session.execute(query, options, check=not args.force)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -169,8 +262,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.trace_chrome, "w") as fh:
                 json.dump(chrome_trace(obs.tracer.events()), fh)
         if args.analyze:
+            try:
+                diagnostics = session.analyze(query)
+            except ReproError:
+                diagnostics = None
             print(file=sys.stderr)
-            print(explain_analyze(obs, result.metrics), file=sys.stderr)
+            print(explain_analyze(obs, result.metrics,
+                                  diagnostics=diagnostics), file=sys.stderr)
     return 0
 
 

@@ -64,7 +64,7 @@ class QueryMetrics:
         out: List[float] = []
         acc = self.startup_seconds + self.recovery_seconds
         for it in self.iterations:
-            acc += it.seconds
+            acc += it.seconds  # noqa: REX103 — prefix sum, inherently sequential
             out.append(acc)
         return out
 

@@ -36,6 +36,25 @@ class PlanError(ReproError):
     """The optimizer could not build a valid plan for a query."""
 
 
+class PlanValidationError(PlanError):
+    """A plan failed static analysis (``repro.analysis``).
+
+    Carries the list of :class:`~repro.analysis.diagnostics.Diagnostic`
+    findings that condemned the plan, so callers (CLI, tests, CI) can
+    render codes and fix hints instead of a bare message.  ``diagnostics``
+    may be empty when the failure predates the analyzer (e.g. the
+    optimizer produced no viable plan at all).
+    """
+
+    def __init__(self, message, diagnostics=()):
+        details = list(diagnostics)
+        if details:
+            lines = [message] + ["  " + d.format() for d in details]
+            message = "\n".join(lines)
+        super().__init__(message)
+        self.diagnostics = details
+
+
 class ExecutionError(ReproError):
     """A runtime failure inside the query engine (not a node failure)."""
 

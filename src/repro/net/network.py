@@ -23,7 +23,7 @@ from repro.common.sizes import row_bytes, value_bytes
 PUNCT_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One batched transmission on an exchange.
 
@@ -56,7 +56,7 @@ class Message:
         return total + PUNCT_BYTES  # batch framing
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Traffic accounting for one directed node pair."""
 

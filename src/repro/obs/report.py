@@ -14,6 +14,7 @@ silently unaccounted.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 from repro.obs.context import ObsContext, OperatorStats
@@ -42,19 +43,29 @@ def _aggregate(stats: List[OperatorStats],
     same plan position across workers (plans are instantiated in the same
     order on every node)."""
     groups: Dict[str, _Agg] = {}
+    sim_parts: Dict[str, List[float]] = {}
+    wall_parts: Dict[str, List[float]] = {}
     for s in stats:
         key = f"{s.op_id}@n{s.node}" if per_node else s.op_id
         agg = groups.get(key)
         if agg is None:
             agg = groups[key] = _Agg(key)
+            sim_parts[key] = []
+            wall_parts[key] = []
         agg.nodes += 1
         agg.calls += s.calls
         agg.tuples_in += s.tuples_in
         agg.tuples_out += s.tuples_out
-        agg.sim_seconds += s.sim_seconds
-        agg.wall_seconds += s.wall_seconds
+        sim_parts[key].append(s.sim_seconds)
+        wall_parts[key].append(s.wall_seconds)
         for sym, n in s.kinds.items():
             agg.kinds[sym] = agg.kinds.get(sym, 0) + n
+    # Combine float addends order-independently so the table is identical
+    # regardless of the stats iteration order (bit-identical metrics
+    # contract; see repro.cluster.cluster._tally_total).
+    for key, agg in groups.items():
+        agg.sim_seconds = math.fsum(sorted(sim_parts[key]))
+        agg.wall_seconds = math.fsum(sorted(wall_parts[key]))
     return sorted(groups.values(), key=lambda a: -a.sim_seconds)
 
 
@@ -71,8 +82,15 @@ def _fmt_seconds(s: float) -> str:
 
 
 def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
-                    top: Optional[int] = None) -> str:
-    """Render the post-run report as a plain-text table pair."""
+                    top: Optional[int] = None,
+                    diagnostics=None) -> str:
+    """Render the post-run report as a plain-text table pair.
+
+    ``diagnostics`` is an optional
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` from the static
+    analyzer; when given (and non-empty) its findings are appended so the
+    cost table and the plan's static findings read as one report.
+    """
     rows = _aggregate(obs.operator_stats(), per_node)
     attributed, unattributed = obs.attribution()
     total_charged = attributed + unattributed
@@ -154,4 +172,9 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
             rate = hits / total * 100.0 if total else 0.0
             lines.append(f"  {base}: {hits}/{misses}/{evictions} "
                          f"({rate:.1f}% hit rate)")
+
+    if diagnostics is not None and len(diagnostics):
+        lines.append("")
+        lines.append("static analysis (repro analyze)")
+        lines.append(diagnostics.format())
     return "\n".join(lines)

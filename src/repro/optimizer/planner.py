@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import PlanError
+from repro.common.errors import PlanValidationError
 from repro.common.schema import Field, SQLType
 from repro.operators.expressions import ColumnRef
 from repro.optimizer.cost import CostEstimator, EstimationPruned
@@ -96,7 +96,7 @@ class Optimizer:
                 continue
             best, best_cost = with_exchanges, cost
         if best is None:
-            raise PlanError("optimizer produced no viable plan")
+            raise PlanValidationError("optimizer produced no viable plan")
         report.best_cost = best_cost
         report.chosen = best
         return best, report

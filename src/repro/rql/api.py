@@ -9,11 +9,14 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.analysis import analyze_logical
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.cluster.cluster import Cluster
+from repro.optimizer.exchanges import add_exchanges
 from repro.optimizer.explain import explain as explain_plan
 from repro.optimizer.physical import lower
 from repro.optimizer.planner import Optimizer
-from repro.common.errors import TypeCheckError
+from repro.common.errors import PlanValidationError, TypeCheckError
 from repro.rql import ast as rql_ast
 from repro.rql.compiler import compile_query
 from repro.rql.parser import parse
@@ -87,20 +90,45 @@ class RQLSession:
             node = self.optimizer.optimize(node)
         return node
 
-    def explain(self, text: str, with_estimates: bool = False) -> str:
+    def analyze(self, text: str,
+                fixpoint_handler: Optional[str] = None) -> DiagnosticReport:
+        """Statically analyze a query's chosen plan without executing it.
+
+        Runs every ``repro.analysis`` rule pass over the optimized
+        logical tree and returns the diagnostic report.  When the session
+        was built with ``optimize=False`` the compiler output has no
+        exchanges yet, so partitioning is checked against the tree the
+        lowering would actually produce (``add_exchanges``).
+        """
+        node = self.logical_plan(text, fixpoint_handler=fixpoint_handler)
+        if not self.optimize:
+            node = add_exchanges(node)
+        return analyze_logical(node)
+
+    def explain(self, text: str, with_estimates: bool = False,
+                with_diagnostics: bool = False) -> str:
         """Render the chosen plan as a tree (Figure 1 style)."""
         node = self.logical_plan(text)
         estimator = self.optimizer.estimator if with_estimates else None
-        return explain_plan(node, estimator)
+        rendered = explain_plan(node, estimator)
+        if with_diagnostics:
+            report = analyze_logical(
+                node if self.optimize else add_exchanges(node))
+            rendered += "\n-- diagnostics --\n" + report.format()
+        return rendered
 
     def execute(self, text: str,
                 options: Optional[ExecOptions] = None,
-                fixpoint_handler: Optional[str] = None) -> QueryResult:
+                fixpoint_handler: Optional[str] = None,
+                check: bool = True) -> QueryResult:
         """Run a query to completion and return rows plus metrics.
 
-        Top-level ``ORDER BY`` / ``LIMIT`` are applied at the requestor
-        over the unioned result (presentation only; execution is
-        unordered, as in any distributed engine).
+        Before execution the plan goes through static analysis; plans
+        with error-level diagnostics are refused with
+        :class:`PlanValidationError` unless ``check=False`` (the CLI's
+        ``--force``).  Top-level ``ORDER BY`` / ``LIMIT`` are applied at
+        the requestor over the unioned result (presentation only;
+        execution is unordered, as in any distributed engine).
         """
         query, presentation = self._split_presentation(parse(text))
         node = compile_query(query, self.cluster.catalog, self.registry)
@@ -114,6 +142,14 @@ class RQLSession:
                 self.registry.while_handler_factory(fixpoint_handler)
         if self.optimize:
             node = self.optimizer.optimize(node)
+        if check:
+            report = analyze_logical(
+                node if self.optimize else add_exchanges(node))
+            if report.has_errors():
+                raise PlanValidationError(
+                    "plan failed static analysis (pass check=False / "
+                    "--force to run anyway)",
+                    diagnostics=report.errors)
         plan = lower(node)
         executor = QueryExecutor(self.cluster, options)
         result = executor.execute(plan)

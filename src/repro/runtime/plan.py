@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.common.errors import PlanError
+from repro.common.errors import PlanError  # noqa: F401 — re-exported for callers
 
 
 class PNode:
@@ -156,21 +156,30 @@ class PhysicalPlan:
         fixpoints = [n for n in self.root.walk() if isinstance(n, PFixpoint)]
         feedbacks = [n for n in self.root.walk() if isinstance(n, PFeedback)]
         if len(fixpoints) > 1:
-            raise PlanError("at most one fixpoint per plan is supported")
+            self._reject("at most one fixpoint per plan is supported",
+                         "REX001")
         if fixpoints:
             fp = fixpoints[0]
             if len(fp.children) != 2:
-                raise PlanError("fixpoint requires (base, recursive) children")
+                self._reject("fixpoint requires (base, recursive) children")
             recursive_feedbacks = [n for n in fp.children[1].walk()
                                    if isinstance(n, PFeedback)]
             if len(recursive_feedbacks) != 1:
-                raise PlanError(
+                self._reject(
                     "the recursive branch must contain exactly one feedback leaf"
                 )
             if len(feedbacks) != len(recursive_feedbacks):
-                raise PlanError("feedback outside the recursive branch")
+                self._reject("feedback outside the recursive branch")
         elif feedbacks:
-            raise PlanError("feedback leaf requires a fixpoint")
+            self._reject("feedback leaf requires a fixpoint")
+
+    def _reject(self, message: str, code: str = "REX002") -> None:
+        # Imported lazily: repro.analysis imports this module at top level.
+        from repro.analysis.diagnostics import make
+        from repro.common.errors import PlanValidationError
+        raise PlanValidationError(
+            "physical plan failed validation",
+            diagnostics=[make(code, message)])
 
     @property
     def fixpoint(self) -> Optional[PFixpoint]:

@@ -1,0 +1,385 @@
+"""Seeded corpus of deliberately-broken plans for the static analyzer.
+
+Each case is a named builder returning a plan plus the diagnostic codes
+the analyzer must report for it; ``GOOD_CASES`` are well-formed plans
+that must produce zero error-level diagnostics.  The corpus is the
+analyzer's regression anchor: every published code has at least one
+case here that triggers it (and CI runs the analyzer over all of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Union
+
+from repro.common.schema import Field as F
+from repro.common.schema import Schema, SQLType
+from repro.operators.expressions import (
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+)
+from repro.optimizer.logical import (
+    LAggCall,
+    LFilter,
+    LFixpoint,
+    LFeedback,
+    LGroupBy,
+    LJoin,
+    LNode,
+    LProject,
+    LRehash,
+    LScan,
+)
+from repro.runtime.plan import (
+    PCollect,
+    PFeedback,
+    PFixpoint,
+    PJoin,
+    PNode,
+    PRehash,
+    PScan,
+    PUnion,
+)
+from repro.udf.builtins import CollectList, Count, Sum
+
+
+@dataclass(frozen=True)
+class Case:
+    name: str
+    build: Callable[[], Union[LNode, PNode]]
+    expected: FrozenSet[str] = field(default_factory=frozenset)
+
+    def plan(self):
+        return self.build()
+
+
+def _schema(*cols) -> Schema:
+    return Schema([F(n, t) for n, t in cols])
+
+
+def _edges(partition_key=None) -> LScan:
+    return LScan("edges",
+                 _schema(("srcId", SQLType.INTEGER),
+                         ("destId", SQLType.INTEGER),
+                         ("weight", SQLType.DOUBLE)),
+                 partition_key=partition_key)
+
+
+def _seed(partition_key="node") -> LScan:
+    return LScan("seed",
+                 _schema(("node", SQLType.INTEGER),
+                         ("val", SQLType.DOUBLE)),
+                 partition_key=partition_key)
+
+
+def _feedback(cte="R") -> LFeedback:
+    return LFeedback(cte,
+                     _schema(("node", SQLType.INTEGER),
+                             ("val", SQLType.DOUBLE)),
+                     fixpoint_key="node")
+
+
+def _converged(child: LNode) -> LFilter:
+    """A convergence filter (contraction) over (node, val)."""
+    return LFilter(child, BinaryOp(">", ColumnRef("val"), Literal(0.0)))
+
+
+class _Handler:
+    name = "H"
+
+
+def _handler_factory():
+    return _Handler()
+
+
+class _NoMultiplySum(Sum):
+    name = "sum_nm"
+    multiply = None
+
+
+class _TypedSum(Sum):
+    """SUM with an explicit single-argument declaration (arity checks
+    need declared in_types; the built-ins leave them open)."""
+
+    name = "tsum"
+    in_types = ("x:Double",)
+
+
+class _MultiplyUDF:
+    """Stands in for the optimizer's synthesized compensation UDF."""
+
+    name = "multiply_val"
+    input_fields = ()
+    output_fields = ()
+    table_valued = False
+
+
+# ---------------------------------------------------------------------------
+# Logical bad plans
+# ---------------------------------------------------------------------------
+
+def nested_fixpoint() -> LNode:
+    inner = LFixpoint(_seed(), _converged(_feedback("Inner")),
+                      key="node", cte_name="Inner")
+    return LFixpoint(_seed(), _converged(inner), key="node", cte_name="R")
+
+
+def negation_in_recursion() -> LNode:
+    guard = LFilter(
+        _feedback(),
+        BoolOp("not", [BinaryOp(">", ColumnRef("val"), Literal(0.5))]))
+    return LFixpoint(_seed(), guard, key="node", cte_name="R")
+
+
+def double_feedback() -> LNode:
+    recursive = LJoin(_feedback(), _feedback(), condition=("node", "node"))
+    return LFixpoint(_seed(), _converged(recursive),
+                     key="node", cte_name="R")
+
+
+def feedback_in_base() -> LNode:
+    return LFixpoint(_converged(_feedback()), _converged(_feedback()),
+                     key="node", cte_name="R")
+
+
+def union_all_no_contraction() -> LNode:
+    recursive = LProject(
+        _feedback(),
+        [(ColumnRef("node"), F("node", SQLType.INTEGER)),
+         (ColumnRef("val"), F("val", SQLType.DOUBLE))])
+    return LFixpoint(_seed(), recursive, key="node", cte_name="R",
+                     union_all=True)
+
+
+def non_composable_preagg() -> LNode:
+    partial = LGroupBy(
+        _edges("srcId"), ["srcId"],
+        [LAggCall("collect", CollectList, [ColumnRef("weight")],
+                  [F("ws", SQLType.LIST)])],
+        pre_aggregated=True)
+    return LGroupBy(LRehash(partial, "srcId"), ["srcId"],
+                    [LAggCall("collect", CollectList, [ColumnRef("ws")],
+                              [F("ws2", SQLType.LIST)])])
+
+
+def escaping_partials() -> LNode:
+    return LGroupBy(
+        _edges("srcId"), ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("weight")],
+                  [F("_p0", SQLType.DOUBLE)], composable=True)],
+        pre_aggregated=True)
+
+
+def _side_preagg(scan: LScan, key: str, agg_factory, agg_name: str,
+                 cnt_name: str) -> LGroupBy:
+    return LGroupBy(
+        scan, [key],
+        [LAggCall(agg_name, agg_factory, [ColumnRef("weight")],
+                  [F("_m0", SQLType.DOUBLE)], composable=True),
+         LAggCall("count", Count, [],
+                  [F(cnt_name, SQLType.INTEGER)], composable=True)],
+        pre_aggregated=True)
+
+
+def multiplicative_no_multiply() -> LNode:
+    left = _side_preagg(_edges("srcId"), "srcId",
+                        _NoMultiplySum, "sum_nm", "_cnt_1")
+    right = _side_preagg(_edges("srcId"), "srcId", Sum, "sum", "_cnt_2")
+    join = LJoin(left, right, condition=("srcId", "srcId"))
+    return LProject(
+        join,
+        [(FuncCall(_MultiplyUDF(), [ColumnRef("_m0")]),
+          F("total", SQLType.DOUBLE))])
+
+
+def multiplicative_no_compensation() -> LNode:
+    left = _side_preagg(_edges("srcId"), "srcId", Sum, "sum", "_cnt_1")
+    right = _side_preagg(_edges("srcId"), "srcId", Sum, "sum", "_cnt_2")
+    return LJoin(left, right, condition=("srcId", "srcId"))
+
+
+def missing_rehash() -> LNode:
+    return LGroupBy(
+        _edges(partition_key=None), ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("weight")],
+                  [F("total", SQLType.DOUBLE)], composable=True)])
+
+
+def redundant_rehash() -> LNode:
+    rehash = LRehash(_edges(partition_key="srcId"), "srcId")
+    return LGroupBy(
+        rehash, ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("weight")],
+                  [F("total", SQLType.DOUBLE)], composable=True)])
+
+
+def starved_handler() -> LNode:
+    handler_join = LJoin(
+        _edges("srcId"), _seed("node"), condition=None,
+        handler_factory=_handler_factory,
+        handler_schema=_schema(("node", SQLType.INTEGER),
+                               ("val", SQLType.DOUBLE)))
+    recursive = LJoin(_converged(handler_join), _feedback(),
+                      condition=("node", "node"))
+    return LFixpoint(_seed(), recursive, key="node", cte_name="R")
+
+
+def uninterpreted_payload() -> LNode:
+    handler_join = LJoin(
+        _feedback(), _edges("srcId"), condition=None,
+        handler_factory=_handler_factory,
+        handler_schema=_schema(("node", SQLType.INTEGER),
+                               ("val", SQLType.DOUBLE)))
+    return LFixpoint(_seed(), handler_join, key="node", cte_name="R")
+
+
+def unknown_column() -> LNode:
+    return LFilter(_edges(), BinaryOp(">", ColumnRef("nope"), Literal(0)))
+
+
+def join_type_mismatch() -> LNode:
+    names = LScan("names", _schema(("id", SQLType.INTEGER),
+                                   ("label", SQLType.VARCHAR)),
+                  partition_key=None)
+    return LJoin(LRehash(_edges(), "srcId"), LRehash(names, "label"),
+                 condition=("srcId", "label"))
+
+
+def aggregate_arity_mismatch() -> LNode:
+    return LGroupBy(
+        LRehash(_edges(), "srcId"), ["srcId"],
+        [LAggCall("tsum", _TypedSum,
+                  [ColumnRef("weight"), ColumnRef("destId")],
+                  [F("total", SQLType.DOUBLE)], composable=True)])
+
+
+def fixpoint_arity_mismatch() -> LNode:
+    wide = LProject(
+        _converged(_feedback()),
+        [(ColumnRef("node"), F("node", SQLType.INTEGER)),
+         (ColumnRef("val"), F("val", SQLType.DOUBLE)),
+         (Literal(0), F("extra", SQLType.INTEGER))])
+    return LFixpoint(_seed(), wide, key="node", cte_name="R")
+
+
+# ---------------------------------------------------------------------------
+# Physical bad plans (bare PNode trees: PhysicalPlan's constructor would
+# reject some of these shapes outright — the analyzer must explain them)
+# ---------------------------------------------------------------------------
+
+def _key0(row):
+    return (row[0],)
+
+
+def phys_two_fixpoints() -> PNode:
+    def fp():
+        return PFixpoint(key_fn=_key0,
+                         children=(PScan("seed"), PFeedback()))
+    return PCollect(children=(PUnion(children=(fp(), fp())),))
+
+
+def phys_feedback_without_fixpoint() -> PNode:
+    return PCollect(children=(PFeedback(),))
+
+
+def phys_double_feedback() -> PNode:
+    recursive = PJoin(left_key=_key0, right_key=_key0,
+                      children=(PFeedback(), PFeedback()))
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+def phys_broadcast_broadcast() -> PNode:
+    inner = PRehash(broadcast=True, children=(PScan("edges"),))
+    return PCollect(children=(PRehash(broadcast=True, children=(inner,)),))
+
+
+def phys_starved_handler() -> PNode:
+    handler_join = PJoin(left_key=_key0, right_key=_key0,
+                         handler_factory=_handler_factory,
+                         children=(PScan("edges"), PScan("seed")))
+    recursive = PUnion(children=(handler_join, PFeedback()))
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+# ---------------------------------------------------------------------------
+# Good plans: zero error-level diagnostics expected
+# ---------------------------------------------------------------------------
+
+def good_groupby() -> LNode:
+    return LGroupBy(
+        LRehash(_edges(), "srcId"), ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("weight")],
+                  [F("total", SQLType.DOUBLE)], composable=True)])
+
+
+def good_preagg_pair() -> LNode:
+    partial = LGroupBy(
+        _edges(), ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("weight")],
+                  [F("_p0", SQLType.DOUBLE)], composable=True)],
+        pre_aggregated=True)
+    return LGroupBy(
+        LRehash(partial, "srcId"), ["srcId"],
+        [LAggCall("sum", Sum, [ColumnRef("_p0")],
+                  [F("total", SQLType.DOUBLE)], composable=True)])
+
+
+def good_fixpoint() -> LNode:
+    return LFixpoint(_seed(), _converged(_feedback()),
+                     key="node", cte_name="R")
+
+
+def good_phys_fixpoint() -> PNode:
+    recursive = PUnion(children=(PFeedback(),))
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+BAD_CASES: List[Case] = [
+    Case("nested_fixpoint", nested_fixpoint, frozenset({"REX001"})),
+    Case("negation_in_recursion", negation_in_recursion,
+         frozenset({"REX001"})),
+    Case("double_feedback", double_feedback, frozenset({"REX002"})),
+    Case("feedback_in_base", feedback_in_base, frozenset({"REX002"})),
+    Case("union_all_no_contraction", union_all_no_contraction,
+         frozenset({"REX002"})),
+    Case("non_composable_preagg", non_composable_preagg,
+         frozenset({"REX003"})),
+    Case("escaping_partials", escaping_partials, frozenset({"REX003"})),
+    Case("multiplicative_no_multiply", multiplicative_no_multiply,
+         frozenset({"REX004"})),
+    Case("multiplicative_no_compensation", multiplicative_no_compensation,
+         frozenset({"REX004"})),
+    Case("missing_rehash", missing_rehash, frozenset({"REX005"})),
+    Case("redundant_rehash", redundant_rehash, frozenset({"REX006"})),
+    Case("starved_handler", starved_handler, frozenset({"REX007"})),
+    Case("uninterpreted_payload", uninterpreted_payload,
+         frozenset({"REX007"})),
+    Case("unknown_column", unknown_column, frozenset({"REX008"})),
+    Case("join_type_mismatch", join_type_mismatch, frozenset({"REX008"})),
+    Case("aggregate_arity_mismatch", aggregate_arity_mismatch,
+         frozenset({"REX008"})),
+    Case("fixpoint_arity_mismatch", fixpoint_arity_mismatch,
+         frozenset({"REX008"})),
+    Case("phys_two_fixpoints", phys_two_fixpoints, frozenset({"REX001"})),
+    Case("phys_feedback_without_fixpoint", phys_feedback_without_fixpoint,
+         frozenset({"REX002"})),
+    Case("phys_double_feedback", phys_double_feedback,
+         frozenset({"REX002"})),
+    Case("phys_broadcast_broadcast", phys_broadcast_broadcast,
+         frozenset({"REX006"})),
+    Case("phys_starved_handler", phys_starved_handler,
+         frozenset({"REX007"})),
+]
+
+GOOD_CASES: List[Case] = [
+    Case("good_groupby", good_groupby),
+    Case("good_preagg_pair", good_preagg_pair),
+    Case("good_fixpoint", good_fixpoint),
+    Case("good_phys_fixpoint", good_phys_fixpoint),
+]

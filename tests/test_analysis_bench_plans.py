@@ -1,0 +1,121 @@
+"""Property test (acceptance criterion): every plan the optimizer or the
+algorithm builders produce for the benchmark workloads (fig02–fig12 plus
+the ablations' query shapes) passes the static analyzer with zero
+error-level diagnostics."""
+
+import pytest
+
+from repro.algorithms import MonotoneMinDist, PRAgg, SPAgg
+from repro.algorithms.adsorption import adsorption_plan
+from repro.algorithms.kmeans import CentroidAvg, KMAgg, kmeans_plan
+from repro.algorithms.pagerank import pagerank_plan
+from repro.algorithms.sssp import sssp_plan
+from repro.analysis import analyze_physical
+from repro.cluster import Cluster
+from repro.datasets import dbpedia_like, geo_points, lineitem, \
+    sample_centroids
+from repro.rql import RQLSession
+
+from tests.test_rql_e2e import KMEANS_RQL, PAGERANK_RQL, SSSP_RQL
+
+PHYSICAL_BUILDERS = {
+    "fig02/06/08_pagerank_delta": lambda: pagerank_plan(mode="delta"),
+    "fig02_pagerank_nodelta": lambda: pagerank_plan(mode="nodelta"),
+    "fig05_kmeans": lambda: kmeans_plan(),
+    "fig07/09_sssp_argmin": lambda: sssp_plan(use_argmin_groupby=True),
+    "fig07_sssp_direct": lambda: sssp_plan(use_argmin_groupby=False),
+    "fig10/11/12_adsorption": lambda: adsorption_plan({(0, "seed"): 1.0}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PHYSICAL_BUILDERS),
+                         ids=sorted(PHYSICAL_BUILDERS))
+def test_algorithm_plan_has_no_errors(name):
+    report = analyze_physical(PHYSICAL_BUILDERS[name]())
+    assert not report.has_errors(), f"{name}:\n{report.format()}"
+
+
+def _lineitem_session():
+    cluster = Cluster(3)
+    cluster.create_table(
+        "lineitem",
+        ["orderkey:Integer", "linenumber:Integer", "quantity:Integer",
+         "extendedprice:Double", "discount:Double", "tax:Double"],
+        lineitem(60), None)
+    return RQLSession(cluster)
+
+
+def _graph_session():
+    cluster = Cluster(3)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         dbpedia_like(60, avg_out_degree=3, seed=7),
+                         "srcId")
+    return RQLSession(cluster)
+
+
+RQL_WORKLOADS = {
+    "fig04_simple_agg":
+        "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1",
+    "ablation_groupby":
+        "SELECT linenumber, sum(tax), count(*) FROM lineitem "
+        "GROUP BY linenumber",
+    "ablation_projection":
+        "SELECT orderkey, quantity * 2 AS dbl FROM lineitem "
+        "WHERE quantity > 25",
+}
+
+
+@pytest.mark.parametrize("name", sorted(RQL_WORKLOADS),
+                         ids=sorted(RQL_WORKLOADS))
+def test_lineitem_rql_plan_has_no_errors(name):
+    session = _lineitem_session()
+    report = session.analyze(RQL_WORKLOADS[name])
+    assert not report.has_errors(), f"{name}:\n{report.format()}"
+
+
+def test_pagerank_rql_plan_has_no_errors():
+    session = _graph_session()
+    session.register(PRAgg(tol=0.0))
+    report = session.analyze(PAGERANK_RQL)
+    assert not report.has_errors(), report.format()
+
+
+def test_sssp_rql_plan_has_no_errors():
+    session = _graph_session()
+    session.cluster.create_table(
+        "start", ["v:Integer", "parent:Integer", "dist:Double"],
+        [(0, -1, 0.0)], "v")
+    session.register(SPAgg())
+    session.register(MonotoneMinDist)
+    report = session.analyze(SSSP_RQL, fixpoint_handler="MonotoneMinDist")
+    assert not report.has_errors(), report.format()
+
+
+def test_kmeans_rql_plan_has_no_errors():
+    points = geo_points(40, n_clusters=3, seed=55, spread=0.7)
+    centroids = sample_centroids(points, 3, seed=56)
+    cluster = Cluster(3)
+    cluster.create_table("points", ["pid:Integer", "x:Double", "y:Double"],
+                         points, None)
+    cluster.create_table("centroids0",
+                         ["cid:Integer", "x:Double", "y:Double"],
+                         centroids, "cid")
+    session = RQLSession(cluster)
+    session.register(KMAgg)
+    session.register(CentroidAvg, name="CentroidAvg")
+    report = session.analyze(KMEANS_RQL)
+    assert not report.has_errors(), report.format()
+
+
+def test_unoptimized_session_plans_also_pass():
+    """optimize=False sessions lower raw compiler output; the analyzer
+    checks the exchange-completed tree the lowering would build."""
+    cluster = Cluster(3)
+    cluster.create_table(
+        "lineitem",
+        ["orderkey:Integer", "linenumber:Integer", "quantity:Integer",
+         "extendedprice:Double", "discount:Double", "tax:Double"],
+        lineitem(60), None)
+    session = RQLSession(cluster, optimize=False)
+    report = session.analyze(RQL_WORKLOADS["ablation_groupby"])
+    assert not report.has_errors(), report.format()

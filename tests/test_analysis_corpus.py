@@ -1,0 +1,44 @@
+"""The analyzer must detect every seeded-bad plan with its expected code,
+and stay quiet (no error-level findings) on the good plans."""
+
+import pytest
+
+from repro.analysis import analyze
+
+from tests.analysis_corpus import BAD_CASES, GOOD_CASES
+
+
+@pytest.mark.parametrize("case", BAD_CASES, ids=lambda c: c.name)
+def test_bad_case_detected(case):
+    report = analyze(case.plan())
+    found = set(report.codes())
+    missing = case.expected - found
+    assert not missing, (
+        f"{case.name}: expected codes {sorted(case.expected)}, analyzer "
+        f"reported {sorted(found)}:\n{report.format()}")
+
+
+@pytest.mark.parametrize("case", BAD_CASES, ids=lambda c: c.name)
+def test_bad_case_diagnostics_carry_location_and_hint(case):
+    report = analyze(case.plan())
+    for code in case.expected:
+        for diag in report.by_code(code):
+            assert diag.location, f"{case.name}: {code} without a location"
+            assert diag.message
+
+
+@pytest.mark.parametrize("case", GOOD_CASES, ids=lambda c: c.name)
+def test_good_case_has_no_errors(case):
+    report = analyze(case.plan())
+    assert not report.has_errors(), (
+        f"{case.name} should be clean but got:\n{report.format()}")
+
+
+def test_every_plan_code_has_a_bad_case():
+    """Each published REX0xx plan code is anchored by at least one case."""
+    covered = set()
+    for case in BAD_CASES:
+        covered |= case.expected
+    from repro.analysis.diagnostics import CODES
+    plan_codes = {c for c in CODES if c.startswith("REX0")}
+    assert plan_codes <= covered, plan_codes - covered

@@ -1,0 +1,141 @@
+"""Analyzer wiring: PlanValidationError, session gating, CLI subcommands,
+diagnostics in explain/EXPLAIN ANALYZE output."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.diagnostics import make
+from repro.cli import main
+from repro.cluster import Cluster
+from repro.common.errors import (
+    PlanError,
+    PlanValidationError,
+    ReproError,
+)
+from repro.datasets import lineitem
+from repro.obs import ObsContext, explain_analyze
+from repro.rql import RQLSession
+from repro.runtime.plan import PCollect, PFeedback, PhysicalPlan
+
+from tests.analysis_corpus import missing_rehash
+
+
+class TestPlanValidationError:
+    def test_subclasses_plan_error(self):
+        assert issubclass(PlanValidationError, PlanError)
+        assert issubclass(PlanValidationError, ReproError)
+
+    def test_carries_diagnostics_in_message(self):
+        diag = make("REX005", "group-by input unpartitioned")
+        err = PlanValidationError("plan rejected", diagnostics=[diag])
+        assert err.diagnostics == [diag]
+        assert "REX005" in str(err)
+
+    def test_physical_plan_validation_raises_it(self):
+        with pytest.raises(PlanValidationError) as info:
+            PhysicalPlan(PCollect(children=(PFeedback(),)))
+        assert any(d.code == "REX002" for d in info.value.diagnostics)
+
+
+class TestSessionGating:
+    def _session(self):
+        cluster = Cluster(2)
+        cluster.create_table(
+            "lineitem",
+            ["orderkey:Integer", "linenumber:Integer", "quantity:Integer",
+             "extendedprice:Double", "discount:Double", "tax:Double"],
+            lineitem(30), None)
+        return RQLSession(cluster)
+
+    def test_clean_query_executes_with_check(self):
+        result = self._session().execute(
+            "SELECT sum(tax) FROM lineitem", check=True)
+        assert len(result.rows) == 1
+
+    def test_analyze_reports_error_plan(self):
+        report = analyze(missing_rehash())
+        assert report.has_errors()
+        assert "REX005" in report.codes()
+
+    def test_explain_includes_diagnostics_section(self):
+        text = self._session().explain("SELECT sum(tax) FROM lineitem",
+                                       with_diagnostics=True)
+        assert "-- diagnostics --" in text
+
+    def test_explain_analyze_renders_diagnostics(self):
+        obs = ObsContext()
+        report = analyze(missing_rehash())
+        text = explain_analyze(obs, diagnostics=report)
+        assert "static analysis" in text and "REX005" in text
+
+    def test_explain_analyze_omits_empty_diagnostics(self):
+        from repro.analysis.diagnostics import DiagnosticReport
+        obs = ObsContext()
+        text = explain_analyze(obs, diagnostics=DiagnosticReport())
+        assert "static analysis" not in text
+
+
+class TestCLISubcommands:
+    @pytest.fixture
+    def edges_csv(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("srcId:Integer,destId:Integer\n1,2\n2,3\n1,3\n")
+        return str(path)
+
+    def test_analyze_clean_query(self, edges_csv, capsys):
+        rc = main(["analyze", "--table", f"graph={edges_csv}",
+                   "SELECT srcId, count(*) FROM graph GROUP BY srcId"])
+        assert rc == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_analyze_json_format(self, edges_csv, capsys):
+        rc = main(["analyze", "--table", f"graph={edges_csv}",
+                   "--format", "json", "SELECT srcId FROM graph"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+
+    def test_analyze_bad_query_exits_2(self, edges_csv, capsys):
+        rc = main(["analyze", "--table", f"graph={edges_csv}",
+                   "SELECT nope FROM graph"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lint_text_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\n"
+                       "def stamp():\n"
+                       "    return time.time()\n")
+        rc = main(["lint", str(bad)])
+        assert rc == 1
+        assert "REX102" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\n"
+                       "def stamp():\n"
+                       "    return time.time()\n")
+        rc = main(["lint", "--format", "json", str(bad)])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["code"] == "REX102"
+
+    def test_lint_clean_file_exits_0(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def add(a, b):\n    return a + b\n")
+        rc = main(["lint", str(good)])
+        assert rc == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_run_still_works_with_force(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--force",
+                   "SELECT srcId FROM graph"])
+        assert rc == 0
+
+    def test_explain_prints_diagnostics_section(self, edges_csv, capsys):
+        rc = main(["--table", f"graph={edges_csv}", "--explain",
+                   "SELECT srcId FROM graph WHERE destId > 0"])
+        assert rc == 0
+        assert "-- diagnostics --" in capsys.readouterr().out
