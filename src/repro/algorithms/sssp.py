@@ -52,6 +52,7 @@ class SPAgg(JoinDeltaHandler):
     name = "SPAgg"
     in_types = ("Integer", "Double")
     out_types = ("nbr:Integer", "parent:Integer", "distOut:Double")
+    replay_idempotent = True  # keeps only the min distance; replay is a no-op
 
     def update(self, left_bucket, right_bucket, delta, side):
         v, parent, dist = delta.row
@@ -69,6 +70,7 @@ class MonotoneMinDist(WhileDeltaHandler):
     """While-state handler: admit a vertex row only on strict improvement."""
 
     name = "MonotoneMinDist"
+    replay_idempotent = True  # admits strict improvements only
 
     def update(self, while_relation, delta):
         key = (delta.row[0],)

@@ -36,7 +36,8 @@ class Severity(enum.Enum):
 
 
 #: The published catalog: code -> (default severity, one-line title).
-#: ``REX0xx`` are plan-analyzer codes, ``REX1xx`` are lint codes.
+#: ``REX0xx`` are plan-analyzer codes, ``REX1xx`` are lint codes,
+#: ``REX2xx`` are runtime sanitizer / determinism-checker codes.
 CODES: Dict[str, Tuple[Severity, str]] = {
     "REX001": (Severity.ERROR,
                "non-stratified recursion (nested fixpoint or negation "
@@ -72,6 +73,32 @@ CODES: Dict[str, Tuple[Severity, str]] = {
                "hot-path record dataclass not frozen with slots=True"),
     "REX105": (Severity.ERROR,
                "mutation of an immutable Delta/Punctuation record"),
+    "REX106": (Severity.WARNING,
+               "unordered set iteration feeding cross-worker routing or "
+               "emitted delta order"),
+    "REX200": (Severity.ERROR,
+               "illegal delta annotation against operator state "
+               "(UPDATE/DELETE of absent rows, duplicate insert, or "
+               "stale REPLACE image; Definition 1)"),
+    "REX201": (Severity.ERROR,
+               "group-by state diverges from differential re-aggregation "
+               "of its delta stream"),
+    "REX202": (Severity.ERROR,
+               "punctuation monotonicity violation (stratum marker "
+               "regressed or arrived after end-of-query)"),
+    "REX203": (Severity.ERROR,
+               "exchange conservation violation (deltas sent != received "
+               "+ dropped at a stratum barrier, or unflushed sender "
+               "buffers)"),
+    "REX204": (Severity.ERROR,
+               "checkpoint/recovery delta-set inequivalence (restored row "
+               "does not match its pre-failure fingerprint)"),
+    "REX205": (Severity.ERROR,
+               "result race: query rows change under schedule "
+               "perturbation"),
+    "REX206": (Severity.WARNING,
+               "metrics-only race: simulated-metrics fingerprint changes "
+               "under schedule perturbation while rows stay identical"),
 }
 
 

@@ -23,6 +23,12 @@ states globally:
   objects; attribute assignment on them (including via
   ``object.__setattr__``) is a contract violation even where the frozen
   dataclass machinery would not catch it until runtime.
+* **REX106** — iterating a ``set`` while routing work (``emit*``,
+  ``send``, ``deposit``, ``_route``, ``_flush``) couples cross-worker
+  message order — and hence emitted delta order — to hash-seed
+  iteration order.  Sets are the one builtin container whose iteration
+  order is genuinely unspecified (dicts preserve insertion order);
+  wrap the iterable in ``sorted(...)`` or carry a list.
 
 Suppression: append ``# noqa: REXnnn`` (or a bare ``# noqa``) to the
 offending line.  Run as ``python -m repro.analysis.lint [paths...]`` or
@@ -77,6 +83,14 @@ _IMMUTABLE_ATTRS = {
 
 #: Files allowed to touch record internals (they define them).
 _RECORD_DEFINERS = ("repro/common/deltas.py", "repro/common/punctuation.py")
+
+#: Callee names that route deltas/messages across workers or emit them
+#: downstream (REX106): iteration order at these call sites becomes
+#: observable message/delta order.
+_ROUTING_CALLEES = {
+    "emit", "emit_batch", "emit_all", "send", "deposit",
+    "route", "_route", "flush", "_flush",
+}
 
 
 def _posix(path: str) -> str:
@@ -155,6 +169,64 @@ def _mentions_charge_total(node: ast.expr) -> bool:
     return False
 
 
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    """True when ``node`` evaluates to a set (literal forms, set()/
+    frozenset() calls, comprehensions, set algebra, or a name/attribute
+    the module-level prepass saw assigned from one)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+def _collect_set_names(tree: ast.AST) -> Set[str]:
+    """Names (and ``self.x`` attribute names) assigned from set
+    expressions anywhere in the module.  Two passes so a name assigned
+    from another tracked set name is caught."""
+    names: Set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not _is_set_expr(value, names):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+    return names
+
+
+def _routing_call_in(body: Sequence[ast.stmt]) -> Optional[str]:
+    """First cross-worker routing/emission callee inside ``body``."""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            if name in _ROUTING_CALLEES:
+                return name
+    return None
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, filename: str, source: str):
         self.filename = filename
@@ -164,6 +236,11 @@ class _Linter(ast.NodeVisitor):
         self.from_imports: Set[str] = set()
         self._loop_depth = 0
         self._func_stack: List[ast.AST] = []
+        self._set_names: Set[str] = set()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._set_names = _collect_set_names(node)
+        self.generic_visit(node)
 
     # -- helpers ---------------------------------------------------------
     def emit(self, code: str, message: str, node: ast.AST,
@@ -231,9 +308,26 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
         self._loop_depth -= 1
 
-    visit_For = _visit_loop
     visit_AsyncFor = _visit_loop
     visit_While = _visit_loop
+
+    # -- REX106 ----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        # sorted(...) (or any other wrapping call) breaks the set-expr
+        # match, so ordered iteration is exempt by construction.
+        if _is_set_expr(node.iter, self._set_names):
+            callee = _routing_call_in(node.body)
+            if callee is not None:
+                self.emit(
+                    "REX106",
+                    f"iteration over a set drives {callee}(): message/"
+                    f"delta order inherits unspecified set iteration "
+                    f"order",
+                    node,
+                    hint="wrap the iterable in sorted(...) or keep an "
+                         "ordered list; set iteration order varies with "
+                         "hash seeding and insertion history")
+        self._visit_loop(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         if self._loop_depth and isinstance(node.op, ast.Add):

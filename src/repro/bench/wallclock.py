@@ -91,7 +91,8 @@ def _workloads(smoke: bool, nodes: int, seed: int
     ]
 
 
-def _time_run(make_runner: Callable, batch: bool, obs=None
+def _time_run(make_runner: Callable, batch: bool, obs=None,
+              sanitize: str = "off"
               ) -> Tuple[float, float, QueryMetrics]:
     """Build a fresh cluster, then time one query execution.
 
@@ -104,7 +105,7 @@ def _time_run(make_runner: Callable, batch: bool, obs=None
     setup_start = time.perf_counter()
     runner = make_runner()
     setup_wall = time.perf_counter() - setup_start
-    options = ExecOptions(batch=batch, obs=obs)
+    options = ExecOptions(batch=batch, obs=obs, sanitize=sanitize)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -145,15 +146,53 @@ def _measure_obs_overhead(make_runner: Callable, repeats: int) -> Dict:
     }
 
 
+def _measure_sanitizer_overhead(make_runner: Callable, repeats: int) -> Dict:
+    """Overhead of the runtime sanitizer at ``sample`` and ``full`` level
+    vs ``off`` — the acceptance bar is < 10% at ``sample`` on PageRank,
+    with bit-identical simulated metrics at every level (the sanitizer
+    observes the simulation, it never participates in it)."""
+    plain: List[float] = []
+    sampled: List[float] = []
+    full: List[float] = []
+    m_plain = m_sample = m_full = None
+    for _ in range(max(repeats, 3)):
+        _, wall, m_plain = _time_run(make_runner, batch=True)
+        plain.append(wall)
+        _, wall, m_sample = _time_run(make_runner, batch=True,
+                                      sanitize="sample")
+        sampled.append(wall)
+        _, wall, m_full = _time_run(make_runner, batch=True,
+                                    sanitize="full")
+        full.append(wall)
+    fp = _metrics_fingerprint(m_plain)
+    identical = (fp == _metrics_fingerprint(m_sample)
+                 == _metrics_fingerprint(m_full))
+    base = min(plain)
+    sample_wall, full_wall = min(sampled), min(full)
+    return {
+        "baseline_wall_seconds": round(base, 4),
+        "sample_wall_seconds": round(sample_wall, 4),
+        "full_wall_seconds": round(full_wall, 4),
+        "sample_overhead_pct": round((sample_wall - base) / base * 100.0, 2)
+        if base > 0 else None,
+        "full_overhead_pct": round((full_wall - base) / base * 100.0, 2)
+        if base > 0 else None,
+        "simulated_metrics_identical": identical,
+    }
+
+
 def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
                   repeats: int = 1, trace_dir: str = None,
-                  measure_obs: bool = False) -> Dict:
+                  measure_obs: bool = False,
+                  measure_sanitizer: bool = False) -> Dict:
     """Run every workload in both modes; returns the BENCH_1 payload.
 
     ``trace_dir`` additionally re-runs each workload once (batch mode,
     untimed) with full tracing and writes ``<workload>.trace.jsonl`` plus
     ``<workload>.chrome.json`` there.  ``measure_obs`` adds a per-workload
     ``observability`` section with the tracer-disabled overhead.
+    ``measure_sanitizer`` adds a ``sanitizer`` section with the sample-
+    and full-level overhead (the BENCH_4 payload).
     """
     results: Dict = {
         "benchmark": "wallclock-batch-vs-per-tuple",
@@ -203,6 +242,9 @@ def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
         if measure_obs:
             entry["observability"] = _measure_obs_overhead(make_runner,
                                                            repeats)
+        if measure_sanitizer:
+            entry["sanitizer"] = _measure_sanitizer_overhead(make_runner,
+                                                             repeats)
         if trace_dir:
             entry["trace_files"] = _emit_traces(make_runner, name, trace_dir)
         results["workloads"][name] = entry
@@ -247,6 +289,9 @@ def main(argv=None) -> int:
     parser.add_argument("--measure-obs", action="store_true",
                         help="also measure observability overhead with the "
                              "tracer disabled (reported per workload)")
+    parser.add_argument("--measure-sanitizer", action="store_true",
+                        help="also measure runtime-sanitizer overhead at "
+                             "sample and full level (reported per workload)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -254,7 +299,8 @@ def main(argv=None) -> int:
     results = run_benchmark(smoke=args.smoke, nodes=args.nodes,
                             seed=args.seed, repeats=args.repeats,
                             trace_dir=args.trace_dir,
-                            measure_obs=args.measure_obs)
+                            measure_obs=args.measure_obs,
+                            measure_sanitizer=args.measure_sanitizer)
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:

@@ -12,15 +12,21 @@ CSV headers name the columns; a header entry may carry an explicit type
 row (int -> Integer, float -> Double, else Varchar).  ``--explain`` prints
 the optimized plan instead of executing.
 
-Two subcommands wrap the static-analysis subsystem (``repro.analysis``):
+Three subcommands wrap the analysis subsystem (``repro.analysis``):
 
     python -m repro.cli analyze --table graph=edges.csv "SELECT ..."
     python -m repro.cli lint src [--format json]
+    python -m repro.cli check --workload pagerank --perturbations 3
 
 ``analyze`` prints the plan diagnostics without executing (exit 1 when
 any are error-level); ``lint`` runs the simulator-invariant linter over
-source trees.  Plain query runs refuse plans with error-level
-diagnostics unless ``--force`` is given.
+source trees; ``check`` runs the determinism checker — the same built-in
+workload executed under K seeded schedule perturbations, diffed for
+result races (REX205/REX206, exit 1 on a race).  Plain query runs refuse
+plans with error-level diagnostics unless ``--force`` is given (the
+bypassed report is still printed to stderr and attached to the trace),
+and ``--sanitize=sample|full`` turns on the runtime delta sanitizer
+(REX200-REX204, exit 1 on violations).
 """
 
 from __future__ import annotations
@@ -119,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--force", action="store_true",
                         help="execute even if static analysis reports "
                              "error-level diagnostics")
+    parser.add_argument("--sanitize", choices=("off", "sample", "full"),
+                        default="off",
+                        help="runtime delta sanitizer level (REX200-REX204; "
+                             "default off)")
+    parser.add_argument("--sanitize-seed", type=int, default=0,
+                        help="seed for the sanitizer's sampling (default 0)")
     return parser
 
 
@@ -152,6 +164,100 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="output format")
     return parser
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli check",
+        description="Determinism check: run a built-in workload under "
+                    "seeded schedule perturbations and diff the results "
+                    "(REX205/REX206).")
+    parser.add_argument("--workload",
+                        choices=("pagerank", "fig06", "sssp", "kmeans"),
+                        default="pagerank",
+                        help="built-in workload (fig06 is PageRank on the "
+                             "DBpedia-like generator, the Figure 6 plan)")
+    parser.add_argument("--perturbations", type=int, default=3,
+                        help="number of perturbed runs (default 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="perturbation seed family (default 0)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="simulated worker nodes (default 4)")
+    parser.add_argument("--scale", type=int, default=200,
+                        help="vertices (graphs) or points (kmeans); "
+                             "default 200")
+    parser.add_argument("--data-seed", type=int, default=7,
+                        help="synthetic dataset seed (default 7)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip per-exchange race minimization")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    return parser
+
+
+def main_check(argv: List[str]) -> int:
+    from repro.algorithms.kmeans import kmeans_plan
+    from repro.algorithms.pagerank import pagerank_plan
+    from repro.algorithms.sssp import make_start_table, sssp_plan
+    from repro.analysis.determinism import check_determinism
+    from repro.datasets import dbpedia_like, geo_points, sample_centroids
+    from repro.runtime.executor import QueryExecutor
+
+    args = build_check_parser().parse_args(argv)
+    if args.perturbations < 1:
+        print("error: --perturbations must be >= 1", file=sys.stderr)
+        return 2
+
+    # Each run builds a fresh cluster: perturbed schedules must not see
+    # state left behind by the baseline.
+    def run_query(perturb):
+        cluster = Cluster(args.nodes)
+        opts = ExecOptions(perturb=perturb)
+        if args.workload in ("pagerank", "fig06"):
+            edges = dbpedia_like(args.scale, avg_out_degree=4.0,
+                                 seed=args.data_seed)
+            cluster.create_table("graph",
+                                 ["srcId:Integer", "destId:Integer"],
+                                 edges, "srcId")
+            plan = pagerank_plan(mode="delta", tol=0.01)
+            opts.max_strata = 60
+            opts.feedback_mode = "delta"
+        elif args.workload == "sssp":
+            edges = dbpedia_like(args.scale, avg_out_degree=4.0,
+                                 seed=args.data_seed)
+            cluster.create_table("graph",
+                                 ["srcId:Integer", "destId:Integer"],
+                                 edges, "srcId")
+            make_start_table(cluster, edges[0][0] if edges else 0)
+            plan = sssp_plan()
+            opts.max_strata = 200
+        else:
+            points = geo_points(args.scale, n_clusters=4,
+                                seed=args.data_seed)
+            centroids = sample_centroids(points, 4, seed=args.data_seed + 1)
+            cluster.create_table(
+                "points", ["pid:Integer", "x:Double", "y:Double"],
+                points, "pid")
+            cluster.create_table(
+                "centroids0", ["cid:Integer", "x:Double", "y:Double"],
+                centroids, "cid")
+            plan = kmeans_plan()
+            opts.max_strata = 120
+        return QueryExecutor(cluster, opts).execute(plan)
+
+    outcome = check_determinism(run_query,
+                                perturbations=args.perturbations,
+                                seed=args.seed,
+                                minimize=not args.no_minimize)
+    if args.format == "json":
+        print(json.dumps(outcome.to_json(), indent=2))
+    else:
+        print(f"{args.workload}: {outcome.runs} perturbed run(s), "
+              f"{'RACES FOUND' if outcome.has_races else 'deterministic'}")
+        if outcome.suspects:
+            print("suspect exchange(s): " + ", ".join(outcome.suspects))
+        print(outcome.report.format())
+    return 1 if outcome.has_races else 0
 
 
 def _build_cluster(args) -> Optional[Cluster]:
@@ -217,6 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return main_analyze(argv[1:])
     if argv and argv[0] == "lint":
         return main_lint(argv[1:])
+    if argv and argv[0] == "check":
+        return main_check(argv[1:])
 
     args = build_parser().parse_args(argv)
     query = _read_query(args.query)
@@ -237,7 +345,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(session.explain(query, with_estimates=True,
                                   with_diagnostics=True))
             return 0
-        options = ExecOptions(max_strata=args.max_strata, obs=obs)
+        options = ExecOptions(max_strata=args.max_strata, obs=obs,
+                              sanitize=args.sanitize,
+                              sanitize_seed=args.sanitize_seed)
         result = session.execute(query, options, check=not args.force)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -245,6 +355,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if obs is not None:
             obs.close()  # flush the JSONL sink even on error
+
+    suppressed = result.suppressed_diagnostics
+    if suppressed is not None and suppressed:
+        print("-- static analysis bypassed by --force --", file=sys.stderr)
+        print(suppressed.format(), file=sys.stderr)
 
     rows = result.rows
     shown = rows if args.limit is None else rows[:args.limit]
@@ -269,6 +384,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(file=sys.stderr)
             print(explain_analyze(obs, result.metrics,
                                   diagnostics=diagnostics), file=sys.stderr)
+    sanitizer = result.sanitizer
+    if sanitizer is not None:
+        print(f"-- sanitizer ({sanitizer.level}): {sanitizer.checks} "
+              f"checks, {sanitizer.violations} violation(s) --",
+              file=sys.stderr)
+        if sanitizer.report:
+            print(sanitizer.report.format(), file=sys.stderr)
+        if sanitizer.report.has_errors():
+            return 1
     return 0
 
 

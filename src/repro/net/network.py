@@ -83,9 +83,11 @@ class SimulatedNetwork:
         self.total_bytes = 0
         self.bytes_by_node: Dict[int, int] = {}
         self._dead: set = set()
-        #: Optional observability hook (repro.obs): an object with
-        #: ``on_send(msg, wire_bytes)`` / ``on_deliver(msg)``.  Purely
-        #: passive — it never affects delivery or byte accounting.
+        #: Optional observability hook (repro.obs / the sanitizer): an
+        #: object with ``on_send(msg, wire_bytes)`` / ``on_deliver(msg)``
+        #: and, optionally, ``on_drop(msg)`` for mail discarded at dead
+        #: destinations.  Purely passive — it never affects delivery or
+        #: byte accounting.
         self.observer = None
 
     def register(self, node: int, exchange: str,
@@ -131,6 +133,10 @@ class SimulatedNetwork:
         while self._queue:
             msg = self._queue.popleft()
             if msg.dst in self._dead:
+                if self.observer is not None:
+                    on_drop = getattr(self.observer, "on_drop", None)
+                    if on_drop is not None:
+                        on_drop(msg)
                 continue
             return msg
         return None

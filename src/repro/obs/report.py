@@ -173,6 +173,16 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
             lines.append(f"  {base}: {hits}/{misses}/{evictions} "
                          f"({rate:.1f}% hit rate)")
 
+    sanitizer_names = obs.registry.names("sanitizer.")
+    if sanitizer_names:
+        checks = obs.registry.counter("sanitizer.checks").value
+        violations = obs.registry.counter("sanitizer.violations").value
+        overhead = obs.registry.gauge("sanitizer.overhead_seconds").value
+        lines.append("")
+        lines.append(f"runtime sanitizer: {checks} checks, "
+                     f"{violations} violation(s), "
+                     f"{overhead:.4f}s host overhead (not simulated)")
+
     if diagnostics is not None and len(diagnostics):
         lines.append("")
         lines.append("static analysis (repro analyze)")

@@ -46,7 +46,7 @@ class ExecContext:
 
     def __init__(self, worker, cluster=None, snapshot=None,
                  hooks: Optional[RuntimeHooks] = None, registry=None,
-                 batch: bool = False, obs=None):
+                 batch: bool = False, obs=None, sanitizer=None):
         self.worker = worker
         self.cluster = cluster
         self.snapshot = snapshot
@@ -58,6 +58,11 @@ class ExecContext:
         #: per-operator metrics, cost attribution); when ``None`` — the
         #: default — no hook is installed anywhere on the hot path.
         self.obs = obs
+        #: Optional :class:`repro.analysis.sanitizer.Sanitizer`.  When set,
+        #: stateful operators opened against this context get runtime
+        #: delta-invariant checks (REX200-series); ``None`` installs
+        #: nothing.
+        self.sanitizer = sanitizer
 
     @property
     def node_id(self) -> int:
@@ -131,6 +136,8 @@ class Operator:
         self.ctx = ctx
         if ctx.obs is not None:
             ctx.obs.instrument_operator(self, ctx.node_id)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.instrument_operator(self, ctx)
 
     # -- data path -------------------------------------------------------
     def receive(self, delta: Delta, port: int = 0) -> None:

@@ -32,18 +32,28 @@ class TableScan(SourceOperator):
 
     def run_stratum(self, stratum: int) -> None:
         if stratum == 0:
-            partition = self.table.partition(self.ctx.node_id)
-            if len(partition):
-                self.ctx.worker.charge_disk_seek()
-                self.ctx.worker.charge_disk_bytes(partition.bytes)
-            if self.ctx.batch:
-                insert = DeltaOp.INSERT
-                self.emit_batch([Delta(insert, row) for row in partition])
-            else:
-                for row in partition:
-                    self.emit(Delta(DeltaOp.INSERT, row))
-            self._emit_takeover_rows()
+            self._emit_partition()
         self.forward_punctuation_from_source(stratum)
+
+    def _emit_partition(self) -> None:
+        partition = self.table.partition(self.ctx.node_id)
+        if len(partition):
+            self.ctx.worker.charge_disk_seek()
+            self.ctx.worker.charge_disk_bytes(partition.bytes)
+        if self.ctx.batch:
+            insert = DeltaOp.INSERT
+            self.emit_batch([Delta(insert, row) for row in partition])
+        else:
+            for row in partition:
+                self.emit(Delta(DeltaOp.INSERT, row))
+        self._emit_takeover_rows()
+
+    def reemit_for_recovery(self) -> None:
+        """Re-read this worker's partition (plus any takeover ranges it now
+        serves) into the pipeline *without* punctuation — used by
+        checkpoint-resume recovery to rebuild downstream operator state
+        that was reset after a failure."""
+        self._emit_partition()
 
     def _emit_takeover_rows(self) -> None:
         """Serve ranges whose original primary is dead (post-failure

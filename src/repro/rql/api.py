@@ -126,9 +126,14 @@ class RQLSession:
         Before execution the plan goes through static analysis; plans
         with error-level diagnostics are refused with
         :class:`PlanValidationError` unless ``check=False`` (the CLI's
-        ``--force``).  Top-level ``ORDER BY`` / ``LIMIT`` are applied at
-        the requestor over the unioned result (presentation only;
-        execution is unordered, as in any distributed engine).
+        ``--force``).  A forced run does not discard the evidence: the
+        full report rides on ``QueryResult.suppressed_diagnostics`` and
+        is stamped into the trace stream (``analysis.suppressed``) so a
+        bypassed error is visible in the JSONL record of the run, not
+        just on the terminal of whoever typed ``--force``.  Top-level
+        ``ORDER BY`` / ``LIMIT`` are applied at the requestor over the
+        unioned result (presentation only; execution is unordered, as in
+        any distributed engine).
         """
         query, presentation = self._split_presentation(parse(text))
         node = compile_query(query, self.cluster.catalog, self.registry)
@@ -142,17 +147,25 @@ class RQLSession:
                 self.registry.while_handler_factory(fixpoint_handler)
         if self.optimize:
             node = self.optimizer.optimize(node)
-        if check:
-            report = analyze_logical(
-                node if self.optimize else add_exchanges(node))
-            if report.has_errors():
-                raise PlanValidationError(
-                    "plan failed static analysis (pass check=False / "
-                    "--force to run anyway)",
-                    diagnostics=report.errors)
+        report = analyze_logical(
+            node if self.optimize else add_exchanges(node))
+        if check and report.has_errors():
+            raise PlanValidationError(
+                "plan failed static analysis (pass check=False / "
+                "--force to run anyway)",
+                diagnostics=report.errors)
         plan = lower(node)
         executor = QueryExecutor(self.cluster, options)
         result = executor.execute(plan)
+        if not check and report:
+            result.suppressed_diagnostics = report
+            obs = options.obs if options is not None else None
+            if obs is not None and obs.tracer is not None:
+                obs.tracer.instant(
+                    "analysis.suppressed", "analysis", -1,
+                    errors=len(report.errors),
+                    warnings=len(report.warnings),
+                    codes=report.codes())
         if presentation is not None:
             result.rows = self._apply_presentation(result.rows, node.schema,
                                                    presentation)

@@ -103,6 +103,19 @@ class ExecOptions:
     attribution).  ``None`` — the default — installs no hooks at all:
     simulated metrics are bit-identical either way, but the disabled path
     also pays zero wall-clock overhead."""
+    sanitize: str = "off"
+    """Runtime delta-invariant checking (:mod:`repro.analysis.sanitizer`,
+    REX200-series): ``'off'`` installs nothing, ``'sample'`` verifies a
+    deterministic hash-sample of keys, ``'full'`` verifies everything.
+    The sanitizer is passive: it never charges simulated resources, so
+    :meth:`QueryMetrics.fingerprint` is bit-identical at every level."""
+    sanitize_seed: int = 0
+    """Seed mixed into the sanitizer's key-sampling hash."""
+    perturb: Optional[object] = None
+    """A :class:`repro.analysis.determinism.Perturbation`: reorders
+    eligible message deliveries and per-stratum worker iteration order
+    under a seed.  Used by the determinism checker to hunt schedule races;
+    ``None`` leaves the schedule alone."""
 
 
 @dataclass
@@ -112,6 +125,14 @@ class QueryResult:
     obs: Optional[object] = None
     """The run's :class:`repro.obs.ObsContext` (if one was attached), with
     its registry published — ready for ``repro.obs.explain_analyze``."""
+    sanitizer: Optional[object] = None
+    """The run's :class:`repro.analysis.sanitizer.Sanitizer` (when
+    ``ExecOptions.sanitize != 'off'``), carrying the REX200-series
+    :class:`~repro.analysis.diagnostics.DiagnosticReport`."""
+    suppressed_diagnostics: Optional[object] = None
+    """Plan diagnostics that were bypassed (``check=False`` / ``--force``):
+    the full :class:`~repro.analysis.diagnostics.DiagnosticReport` the
+    run would otherwise have refused on."""
 
 
 class _MetricsHooks(RuntimeHooks):
@@ -136,6 +157,12 @@ class _WorkerPlan:
         self.fixpoint: Optional[Fixpoint] = None
         self.receivers: List[ExchangeReceiver] = []
         self.checkpoint_entries: Dict[tuple, tuple] = {}
+        #: Every operator instantiated on this worker, in build order.
+        self.operators: List = []
+        #: Table scans inside the fixpoint's recursive branch — the only
+        #: scans checkpoint-resume recovery re-reads (base-case scans feed
+        #: the fixpoint itself; re-running them would clobber its state).
+        self.recursive_scans: List[TableScan] = []
 
 
 class QueryExecutor:
@@ -153,6 +180,7 @@ class QueryExecutor:
         self._attempt = next(_attempt_counter)
         self._fixpoint_key_fn = None
         self._plan: Optional[PhysicalPlan] = None
+        self.sanitizer = None
         # Every fixpoint key ever checkpointed: used to detect, on
         # recovery, ranges whose replicas have all been lost.
         self._checkpointed_keys: set = set()
@@ -190,13 +218,25 @@ class QueryExecutor:
         obs = self.options.obs
         if obs is not None:
             obs.instrument_network(self.cluster.network)
+        if self.options.sanitize != "off" and self.sanitizer is None:
+            # Imported lazily: repro.analysis depends on runtime.plan.
+            from repro.analysis.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self.options.sanitize,
+                                       seed=self.options.sanitize_seed)
+        if self.sanitizer is not None:
+            # Installed after obs so the sanitizer's tee wraps (and keeps
+            # forwarding to) the observability hook.
+            self.sanitizer.install_network(self.cluster.network)
+        if self.options.perturb is not None:
+            self.options.perturb.install(self.cluster.network)
         for node_id in live:
             worker = self.cluster.worker(node_id)
             if obs is not None:
                 obs.instrument_worker(worker)
             ctx = ExecContext(worker, cluster=self.cluster,
                               snapshot=self.snapshot, hooks=self._hooks,
-                              batch=self.options.batch, obs=obs)
+                              batch=self.options.batch, obs=obs,
+                              sanitizer=self.sanitizer)
             wp = _WorkerPlan(node_id)
             self.worker_plans[node_id] = wp
             self._build(plan.root, None, ctx, wp, len(live))
@@ -204,8 +244,13 @@ class QueryExecutor:
                 self._register_checkpoint_handler(node_id, wp)
 
     def _build(self, node: PNode, parent, ctx: ExecContext,
-               wp: _WorkerPlan, n_live: int):
-        """Instantiate ``node`` on one worker; wire it under ``parent``."""
+               wp: _WorkerPlan, n_live: int, in_recursive: bool = False):
+        """Instantiate ``node`` on one worker; wire it under ``parent``.
+
+        ``in_recursive`` tracks whether we are inside a fixpoint's
+        recursive branch — scans found there are recorded for
+        checkpoint-resume recovery.
+        """
         if isinstance(node, PRehash):
             # Split into a local receiver feeding the parent and a sender
             # terminating the child pipeline.
@@ -214,18 +259,28 @@ class QueryExecutor:
             parent.add_input(receiver)
             receiver.open(ctx)
             wp.receivers.append(receiver)
+            wp.operators.append(receiver)
             sender = RehashSender(self._exchange_names[id(node)],
                                   key_fn=node.key_fn, broadcast=node.broadcast)
             sender.open(ctx)
-            self._build(node.children[0], sender, ctx, wp, n_live)
+            wp.operators.append(sender)
+            self._build(node.children[0], sender, ctx, wp, n_live,
+                        in_recursive)
             return
 
         op = self._make_operator(node, ctx, wp)
         if parent is not None:
             parent.add_input(op)
         op.open(ctx)
+        wp.operators.append(op)
+        if in_recursive and isinstance(op, TableScan):
+            wp.recursive_scans.append(op)
+        if isinstance(node, PFixpoint):
+            self._build(node.children[0], op, ctx, wp, n_live, False)
+            self._build(node.children[1], op, ctx, wp, n_live, True)
+            return
         for child in node.children:
-            self._build(child, op, ctx, wp, n_live)
+            self._build(child, op, ctx, wp, n_live, in_recursive)
 
     def _make_operator(self, node: PNode, ctx: ExecContext, wp: _WorkerPlan):
         if isinstance(node, PCollect):
@@ -251,13 +306,19 @@ class QueryExecutor:
         if isinstance(node, PJoin):
             handler = (node.handler_factory()
                        if node.handler_factory is not None else None)
-            return HashJoin(node.left_key, node.right_key, handler=handler,
+            join = HashJoin(node.left_key, node.right_key, handler=handler,
                             handler_side=node.handler_side)
+            # Stashed so checkpoint-resume recovery can rebuild a fresh
+            # handler when it resets the operator's state.
+            join._handler_factory = node.handler_factory
+            return join
         if isinstance(node, PGroupBy):
-            return GroupBy(
+            gb = GroupBy(
                 node.key_fn, node.specs_factory(), mode=node.mode,
                 clear_states_each_stratum=node.clear_states_each_stratum,
                 reset_emissions_each_stratum=node.reset_emissions_each_stratum)
+            gb._specs_factory = node.specs_factory
+            return gb
         if isinstance(node, PUnion):
             return Union()
         if isinstance(node, PFixpoint):
@@ -284,9 +345,12 @@ class QueryExecutor:
         rows = self.sink.rows() if self.options.collect_result else []
         self.metrics.result_rows = len(rows)
         obs = self.options.obs
+        if self.sanitizer is not None and obs is not None:
+            self.sanitizer.publish(obs.registry)
         if obs is not None:
             obs.publish()
-        return QueryResult(rows=rows, metrics=self.metrics, obs=obs)
+        return QueryResult(rows=rows, metrics=self.metrics, obs=obs,
+                           sanitizer=self.sanitizer)
 
     def _run_strata(self, plan: PhysicalPlan) -> Optional[QueryResult]:
         opts = self.options
@@ -298,7 +362,10 @@ class QueryExecutor:
             if obs is not None:
                 obs.begin_stratum(stratum)
             bytes_before = self.cluster.network.total_bytes
-            for wp in self._live_plans():
+            plans = self._live_plans()
+            if opts.perturb is not None:
+                plans = opts.perturb.worker_order(plans, stratum)
+            for wp in plans:
                 for source in wp.sources:
                     source.run_stratum(stratum)
             self.cluster.network.drain()
@@ -325,6 +392,9 @@ class QueryExecutor:
                     else:
                         self._replicate_checkpoints(pending)
                         self.cluster.network.drain()
+            if self.sanitizer is not None:
+                # The fabric is quiescent: verify exchange conservation.
+                self.sanitizer.end_stratum(stratum)
 
             it.seconds = (self.cluster.end_stratum_wall_time()
                           + self.cluster.cost.rex_stratum_overhead)
@@ -399,11 +469,14 @@ class QueryExecutor:
         original_replicas = self.snapshot.original_replicas
         add_checkpointed = self._checkpointed_keys.add
         obs = self.options.obs
+        sanitizer = self.sanitizer
         for worker_id, deltas in pending.items():
             batches: Dict[int, List[Delta]] = {}
             for delta in deltas:
                 key = key_fn(delta.row)
                 add_checkpointed(key)
+                if sanitizer is not None:
+                    sanitizer.record_checkpoint(key, delta)
                 for replica in original_replicas(normalize_key(key), rf)[1:]:
                     if replica != worker_id:
                         batches.setdefault(replica, []).append(delta)
@@ -440,12 +513,47 @@ class QueryExecutor:
         if self.options.recovery == "restart":
             return self._restart(plan)
         obs = self.options.obs
-        if obs is not None:
-            with obs.system_frame("(recovery)"):
+        if self._plan_replays_exactly(plan):
+            def recover():
                 self._recover_incrementally(victim)
         else:
-            self._recover_incrementally(victim)
+            def recover():
+                self._resume_from_checkpoint(victim, pending)
+        if obs is not None:
+            with obs.system_frame("(recovery)"):
+                recover()
+        else:
+            recover()
         return None
+
+    def _plan_replays_exactly(self, plan: PhysicalPlan) -> bool:
+        """True when every stateful handler in the plan is replay-idempotent
+        (min/max-style refinement algebras): restored checkpoint rows can
+        then be replayed through surviving downstream operator state without
+        double-counting, so :meth:`_recover_incrementally` is exact.
+        Anything else — sums, averages — goes through
+        :meth:`_resume_from_checkpoint`, which resets downstream state and
+        recomputes it from the restored mutable set instead.
+        """
+        for node in plan.root.walk():
+            if isinstance(node, PFixpoint):
+                if node.while_handler_factory is not None:
+                    handler = node.while_handler_factory()
+                    if not getattr(handler, "replay_idempotent", False):
+                        return False
+            elif isinstance(node, PJoin):
+                if node.handler_factory is not None:
+                    handler = node.handler_factory()
+                    if not getattr(handler, "replay_idempotent", False):
+                        return False
+            elif isinstance(node, PGroupBy):
+                if node.clear_states_each_stratum:
+                    continue  # rebuilt from scratch every stratum anyway
+                for spec in node.specs_factory():
+                    if not getattr(spec.aggregator, "replay_idempotent",
+                                   False):
+                        return False
+        return True
 
     def _restart(self, plan: PhysicalPlan) -> QueryResult:
         """Discard all progress; re-run the query on the surviving nodes."""
@@ -461,6 +569,9 @@ class QueryExecutor:
             collect_result=self.options.collect_result,
             batch=self.options.batch,
             obs=self.options.obs,
+            sanitize=self.options.sanitize,
+            sanitize_seed=self.options.sanitize_seed,
+            perturb=self.options.perturb,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)
@@ -503,7 +614,9 @@ class QueryExecutor:
             table = self.cluster.catalog.get(table_name)
             key_index = table._key_index
             lost_rows = []
-            for dead_node in dead:
+            # Sorted: set order is unordered and these rows feed emission
+            # order downstream (the sanitizer's REX106 lint catches this).
+            for dead_node in sorted(dead):
                 lost_rows.extend(table.primaries.get(dead_node) or ())
             moved = 0
             for row in lost_rows:
@@ -530,6 +643,7 @@ class QueryExecutor:
         self.cluster.network.drain()
 
         # (b) mutable-state hand-off from checkpoint replicas.
+        sanitizer = self.sanitizer
         restored_keys: set = set()
         restored = 0
         for wp in self._live_plans():
@@ -541,6 +655,8 @@ class QueryExecutor:
                     continue
                 if self.snapshot.replicas(ring_key, 1)[0] != wp.worker_id:
                     continue
+                if sanitizer is not None:
+                    sanitizer.verify_restored(key, row)
                 wp.fixpoint.state[key] = row
                 if wp.feedback is not None:
                     wp.feedback.deposit([Delta(DeltaOp.INSERT, row)])
@@ -565,6 +681,115 @@ class QueryExecutor:
                 raise RecoveryError(
                     "incremental recovery requires checkpointing=True"
                 )
+        if self.options.obs is not None:
+            self.options.obs.checkpoint_restore(victim, restored,
+                                                reread_total)
+        self.metrics.recovery_seconds += (
+            self.cluster.end_stratum_wall_time())
+
+    def _resume_from_checkpoint(self, victim: int,
+                                pending: Dict[int, List[Delta]]) -> None:
+        """Recovery for plans whose handlers are *not* replay-idempotent
+        (PageRank's sums, K-means' averages): replaying restored rows into
+        surviving downstream state would double-count contributions, so
+        instead we (a) reset every downstream mutable operator (group-by
+        states, join buckets, fresh delta handlers), (b) re-read the
+        recursive branch's immutable scans to rebuild join build sides,
+        (c) restore the victim's checkpointed mutable rows into the
+        surviving fixpoints, and (d) re-feed the *entire* mutable set into
+        the next stratum.  The next stratum is then a from-scratch
+        recomputation over the checkpointed vector — exactly one Jacobi /
+        Lloyd step, as if the query had been started from that state.
+        """
+        snapshot = self.snapshot
+        dead = sorted(set(snapshot.nodes) - set(snapshot.live_nodes()))
+        previously_failed = set(dead) - {victim}
+
+        def pre_failure_owner(ring_key) -> int:
+            owners = snapshot.original_replicas(
+                ring_key, len(snapshot.nodes))
+            for owner in owners:
+                if owner not in previously_failed:
+                    return owner
+            raise RecoveryError("all replicas of a key range are lost")
+
+        sanitizer = self.sanitizer
+        # (a) reset downstream mutable state on every survivor.
+        for wp in self._live_plans():
+            for op in wp.operators:
+                if isinstance(op, GroupBy):
+                    op.groups.clear()
+                    op._dirty.clear()
+                    factory = getattr(op, "_specs_factory", None)
+                    if factory is not None:
+                        op.specs = list(factory())
+                elif isinstance(op, HashJoin):
+                    op.buckets.clear()
+                    factory = getattr(op, "_handler_factory", None)
+                    if op.handler is not None and factory is not None:
+                        op.handler = factory()
+                if sanitizer is not None:
+                    sanitizer.reset_operator(op)
+
+        # (b) rebuild immutable join state: re-read every recursive-branch
+        # scan (each survivor's own partition plus takeover ranges of the
+        # dead) without punctuation.  Base-case scans are *not* re-run —
+        # their output feeds the fixpoint, whose state we are restoring.
+        reread_total = 0
+        for wp in self._live_plans():
+            for scan in wp.recursive_scans:
+                scan.reemit_for_recovery()
+                reread_total += len(scan.table.partition(wp.worker_id))
+        self.cluster.network.drain()
+        # Rows routed through a rehash must ship now, not sit in sender
+        # batch buffers until the next punctuation.
+        for wp in self._live_plans():
+            for op in wp.operators:
+                if isinstance(op, RehashSender):
+                    for dst in list(op._buffers):
+                        op._flush(dst)
+        self.cluster.network.drain()
+
+        # (c) restore the checkpointed mutable rows for the victim's ranges.
+        restored_keys: set = set()
+        restored = 0
+        for wp in self._live_plans():
+            if wp.fixpoint is None:
+                continue
+            for key, row in list(wp.checkpoint_entries.items()):
+                ring_key = normalize_key(key)
+                if pre_failure_owner(ring_key) != victim:
+                    continue
+                if snapshot.replicas(ring_key, 1)[0] != wp.worker_id:
+                    continue
+                if sanitizer is not None:
+                    sanitizer.verify_restored(key, row)
+                wp.fixpoint.state[key] = row
+                restored_keys.add(key)
+                restored += 1
+        for key in self._checkpointed_keys:
+            ring_key = normalize_key(key)
+            if (pre_failure_owner(ring_key) == victim
+                    and key not in restored_keys):
+                raise RecoveryError(
+                    f"mutable state for key {key!r} is unrecoverable: all "
+                    f"{self.options.checkpoint_replication} checkpoint "
+                    "replicas have failed (increase "
+                    "checkpoint_replication or use restart recovery)")
+        if restored == 0 and self._fixpoint_key_fn is not None:
+            if not self.options.checkpointing:
+                raise RecoveryError(
+                    "incremental recovery requires checkpointing=True"
+                )
+
+        # (d) re-feed the full mutable set: with downstream state reset,
+        # the Δ-sets pending from the failed stratum are superseded.
+        for wp in self._live_plans():
+            if wp.fixpoint is not None and wp.feedback is not None:
+                pending[wp.worker_id] = [
+                    Delta(DeltaOp.INSERT, row)
+                    for row in wp.fixpoint.state.values()
+                ]
         if self.options.obs is not None:
             self.options.obs.checkpoint_restore(victim, restored,
                                                 reread_total)

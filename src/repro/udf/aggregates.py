@@ -53,6 +53,13 @@ class Aggregator:
     """For composable UDAs under multiplicative joins: maps (value, n) to
     the value compensated for the cardinality ``n`` of the opposite join
     group (plain multiplication for the numeric built-ins)."""
+    replay_idempotent: bool = False
+    """Recovery metadata (Section 4.3): True when re-folding a row that is
+    already reflected in the state is a no-op (min/max-style refinement
+    algebras).  Plans whose every handler is replay-idempotent can replay
+    full rows through surviving operator state during incremental recovery;
+    anything else (sums, averages) would double-count, so the executor
+    rebuilds downstream state from checkpoints instead."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -123,6 +130,8 @@ class JoinDeltaHandler:
     name: Optional[str] = None
     in_types: Sequence[str] = ()
     out_types: Sequence[str] = ()
+    replay_idempotent: bool = False
+    """See :attr:`Aggregator.replay_idempotent`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -143,6 +152,8 @@ class WhileDeltaHandler:
     """
 
     name: Optional[str] = None
+    replay_idempotent: bool = False
+    """See :attr:`Aggregator.replay_idempotent`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__

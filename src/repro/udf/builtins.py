@@ -188,6 +188,7 @@ class Min(Aggregator):
     name = "min"
     composable = True
     largest = False
+    replay_idempotent = True  # re-adding a present value cannot move the extreme
 
     def init_state(self):
         return _OrderStatMultiset(self.largest)
@@ -316,6 +317,7 @@ class ArgMin(Aggregator):
 
     name = "argmin"
     largest = False
+    replay_idempotent = True
 
     def init_state(self):
         return _OrderStatMultiset(self.largest)

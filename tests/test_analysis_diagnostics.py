@@ -25,7 +25,11 @@ class TestCatalog:
             "REX001", "REX002", "REX003", "REX004",
             "REX005", "REX006", "REX007", "REX008"}
         assert {c for c in CODES if c.startswith("REX1")} == {
-            "REX100", "REX101", "REX102", "REX103", "REX104", "REX105"}
+            "REX100", "REX101", "REX102", "REX103", "REX104", "REX105",
+            "REX106"}
+        assert {c for c in CODES if c.startswith("REX2")} == {
+            "REX200", "REX201", "REX202", "REX203", "REX204",
+            "REX205", "REX206"}
 
     def test_unknown_code_rejected(self):
         with pytest.raises(ValueError):

@@ -164,6 +164,69 @@ class TestREX105RecordMutation:
         """)
 
 
+class TestREX106SetIterationRouting:
+    def test_flags_set_iteration_driving_send(self):
+        assert codes("""
+            def route(self, rows):
+                targets = set(rows)
+                for t in targets:
+                    self.send(t)
+        """) == ["REX106"]
+
+    def test_tracks_instance_attributes_across_methods(self):
+        assert "REX106" in codes("""
+            class Sender:
+                def __init__(self):
+                    self._dirty = set()
+
+                def flush_all(self):
+                    for key in self._dirty:
+                        self.emit_batch(key)
+        """)
+
+    def test_set_comprehension_and_set_algebra(self):
+        assert "REX106" in codes("""
+            def fan_out(self, rows):
+                for dst in {r.dst for r in rows}:
+                    self._route(dst)
+        """)
+        assert "REX106" in codes("""
+            def fan_out(self, live, dead):
+                survivors = set(live)
+                for dst in survivors - dead:
+                    self.deposit(dst)
+        """)
+
+    def test_sorted_wrapping_is_exempt(self):
+        assert "REX106" not in codes("""
+            def route(self, rows):
+                targets = set(rows)
+                for t in sorted(targets):
+                    self.send(t)
+        """)
+
+    def test_non_routing_bodies_and_lists_are_fine(self):
+        assert "REX106" not in codes("""
+            def tally(self, rows):
+                seen = set(rows)
+                for t in seen:
+                    count(t)
+        """)
+        assert "REX106" not in codes("""
+            def route(self, rows):
+                targets = list(rows)
+                for t in targets:
+                    self.send(t)
+        """)
+
+    def test_noqa_suppresses(self):
+        assert codes("""
+            def route(self, rows):
+                for t in set(rows):  # noqa: REX106
+                    self.send(t)
+        """) == []
+
+
 class TestNoqa:
     def test_specific_code_suppressed(self):
         source = """

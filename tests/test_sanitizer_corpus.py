@@ -1,0 +1,40 @@
+"""The sanitizer corpus: five seeded bugs, five distinct REX2xx catches.
+
+Each corpus case runs a deliberately-broken query end-to-end and asserts
+the runtime sanitizer (or, for the schedule race, the determinism
+checker) reports the specific code that names its bug class — and that
+across the corpus the five cases exercise five *different* checks.
+"""
+
+import pytest
+
+from sanitizer_corpus import CASES
+
+_REPORTS = {}
+
+
+def _report_for(case):
+    if case.name not in _REPORTS:
+        _REPORTS[case.name] = case.run()
+    return _REPORTS[case.name]
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_case_caught_by_expected_check(case):
+    report = _report_for(case)
+    assert case.code in report.codes(), (
+        f"{case.name}: expected {case.code}, sanitizer reported "
+        f"{report.codes() or 'nothing'}")
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_case_reported_as_error(case):
+    report = _report_for(case)
+    assert report.has_errors(), (
+        f"{case.name}: {case.code} must surface at error severity")
+
+
+def test_corpus_covers_distinct_checks():
+    codes = [case.code for case in CASES]
+    assert len(set(codes)) == len(codes) == 5
+    assert set(codes) == {"REX200", "REX201", "REX203", "REX204", "REX205"}
