@@ -21,6 +21,7 @@ The plan follows Listing 3's shape:
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
@@ -60,16 +61,28 @@ class KMAgg(JoinDeltaHandler):
         super().__init__()
         self.centroids: Dict[int, Tuple[float, float]] = {}
         self.assign: Dict[int, Tuple[int, float]] = {}  # pid -> (cid, dist2)
+        # Sorted centroid ids, maintained by insort on first sight —
+        # centroids move but never disappear, so this is exactly
+        # sorted(self.centroids) without re-sorting per nearest-scan.
+        self._cids: List[int] = []
 
     @staticmethod
     def _d2(x, y, cx, cy) -> float:
-        return (x - cx) ** 2 + (y - cy) ** 2
+        # dx*dx instead of dx**2: float.__pow__ goes through libm pow and
+        # is several times slower.  Every distance in this handler uses
+        # this exact expression so comparisons stay self-consistent.
+        dx = x - cx
+        dy = y - cy
+        return dx * dx + dy * dy
 
     def _nearest(self, x: float, y: float) -> Tuple[int, float]:
         best_cid, best_d2 = -1, float("inf")
-        for cid in sorted(self.centroids):
-            cx, cy = self.centroids[cid]
-            d2 = self._d2(x, y, cx, cy)
+        centroids = self.centroids
+        for cid in self._cids:
+            cx, cy = centroids[cid]
+            dx = x - cx
+            dy = y - cy
+            d2 = dx * dx + dy * dy
             if d2 < best_d2:
                 best_cid, best_d2 = cid, d2
         return best_cid, best_d2
@@ -79,10 +92,14 @@ class KMAgg(JoinDeltaHandler):
         if cx is None or cy is None:
             # An emptied cluster produced a NULL centroid; freeze it.
             return []
-        moved_away = cid in self.centroids
-        self.centroids[cid] = (cx, cy)
+        centroids = self.centroids
+        if cid not in centroids:
+            insort(self._cids, cid)
+        centroids[cid] = (cx, cy)
         out: List[Delta] = []
         adjustments: Dict[int, List[float]] = {}
+        assign = self.assign
+        nearest = self._nearest
 
         def adjust(c: int, dx: float, dy: float, dn: int) -> None:
             acc = adjustments.setdefault(c, [0.0, 0.0, 0])
@@ -90,28 +107,32 @@ class KMAgg(JoinDeltaHandler):
             acc[1] += dy
             acc[2] += dn
 
-        for point in left_bucket:
-            pid, x, y = point
-            current = self.assign.get(pid)
-            new_d2 = self._d2(x, y, cx, cy)
+        # Hot loop: every local point per centroid move.  The distance is
+        # inlined with _d2's exact expression (identical float results).
+        assign_get = assign.get
+        for pid, x, y in left_bucket:
+            current = assign_get(pid)
+            dx = x - cx
+            dy = y - cy
+            new_d2 = dx * dx + dy * dy
             if current is None:
                 # First centroid this point has ever seen.
-                self.assign[pid] = (cid, new_d2)
+                assign[pid] = (cid, new_d2)
                 adjust(cid, x, y, 1)
                 continue
             cur_cid, cur_d2 = current
             if cur_cid == cid:
                 if new_d2 <= cur_d2:
-                    self.assign[pid] = (cid, new_d2)
+                    assign[pid] = (cid, new_d2)
                 else:
                     # Our centroid moved away; someone else may be closer.
-                    best_cid, best_d2 = self._nearest(x, y)
-                    self.assign[pid] = (best_cid, best_d2)
+                    best_cid, best_d2 = nearest(x, y)
+                    assign[pid] = (best_cid, best_d2)
                     if best_cid != cid:
                         adjust(cid, -x, -y, -1)
                         adjust(best_cid, x, y, 1)
             elif new_d2 < cur_d2:
-                self.assign[pid] = (cid, new_d2)
+                assign[pid] = (cid, new_d2)
                 adjust(cur_cid, -x, -y, -1)
                 adjust(cid, x, y, 1)
         for c, (dx, dy, dn) in sorted(adjustments.items()):

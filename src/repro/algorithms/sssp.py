@@ -63,7 +63,11 @@ class SPAgg(JoinDeltaHandler):
             right_bucket[0] = (v, parent, dist)
         else:
             right_bucket.append((v, parent, dist))
-        return [insert((edge[1], v, dist + 1)) for edge in left_bucket]
+        # Hot loop: one offer per out-edge; build the Delta directly
+        # (the insert() helper would re-tuple an already-tuple row).
+        offer = dist + 1
+        ins = DeltaOp.INSERT
+        return [Delta(ins, (edge[1], v, offer)) for edge in left_bucket]
 
 
 class MonotoneMinDist(WhileDeltaHandler):

@@ -17,7 +17,11 @@ Run it with::
 
     PYTHONPATH=src python -m repro.bench.wallclock --out BENCH_1.json
 
-``--smoke`` shrinks the datasets for CI.
+``--smoke`` shrinks the datasets for CI.  ``--fusion`` measures the other
+wall-clock axis this package tracks — fused vs unfused kernels
+(``ExecOptions(fuse=...)``) — and writes the BENCH_5 payload::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --fusion --out BENCH_5.json
 """
 
 from __future__ import annotations
@@ -92,7 +96,7 @@ def _workloads(smoke: bool, nodes: int, seed: int
 
 
 def _time_run(make_runner: Callable, batch: bool, obs=None,
-              sanitize: str = "off"
+              sanitize: str = "off", fuse: bool = True
               ) -> Tuple[float, float, QueryMetrics]:
     """Build a fresh cluster, then time one query execution.
 
@@ -105,7 +109,8 @@ def _time_run(make_runner: Callable, batch: bool, obs=None,
     setup_start = time.perf_counter()
     runner = make_runner()
     setup_wall = time.perf_counter() - setup_start
-    options = ExecOptions(batch=batch, obs=obs, sanitize=sanitize)
+    options = ExecOptions(batch=batch, obs=obs, sanitize=sanitize,
+                          fuse=fuse)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -251,6 +256,89 @@ def run_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
     return results
 
 
+def _geomean(values: List[float]) -> float:
+    import math
+
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_fusion_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
+                         repeats: int = 1,
+                         baseline_path: str = "BENCH_1.json") -> Dict:
+    """Fused vs unfused wall clock; returns the BENCH_5 payload.
+
+    Both sides run batch mode (the fusion pass targets the batch
+    pipeline); ``fuse=False`` is this PR's off switch, so unfused here is
+    exactly the PR 1 batch pipeline re-measured on today's machine.  The
+    run *fails* (AssertionError) if any workload's simulated-metrics
+    fingerprint differs between the two — a speedup must never come from
+    doing different simulated work.  When ``baseline_path`` exists, each
+    workload also reports its speedup against that file's recorded
+    ``batch_wall_seconds`` (the PR 1 batch-only baseline as measured when
+    BENCH_1.json was produced — a cross-machine comparison, noisier than
+    the same-process fused-vs-unfused ratio).
+    """
+    import os
+
+    baseline: Dict = {}
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            recorded = json.load(fh)
+        # Only comparable when the baseline measured the same workload
+        # sizes on the same simulated cluster width.
+        if (recorded.get("smoke", False) == smoke
+                and recorded.get("nodes") == nodes):
+            baseline = recorded.get("workloads", {})
+    results: Dict = {
+        "benchmark": "wallclock-fused-vs-unfused",
+        "smoke": smoke,
+        "nodes": nodes,
+        "baseline": baseline_path if baseline else None,
+        "workloads": {},
+    }
+    for name, make_runner in _workloads(smoke, nodes, seed):
+        # Interleave fused/unfused (alternating order per repeat) so
+        # monotone within-process drift penalizes both sides equally.
+        runs_fused = []
+        runs_plain = []
+        for r in range(repeats):
+            order = (False, True) if r % 2 == 0 else (True, False)
+            for fuse in order:
+                _, wall, metrics = _time_run(make_runner, batch=True,
+                                             fuse=fuse)
+                (runs_fused if fuse else runs_plain).append((wall, metrics))
+        fused_wall = min(wall for wall, _ in runs_fused)
+        plain_wall = min(wall for wall, _ in runs_plain)
+        fp_fused = _metrics_fingerprint(runs_fused[0][1])
+        fp_plain = _metrics_fingerprint(runs_plain[0][1])
+        if fp_fused != fp_plain:
+            raise AssertionError(
+                f"{name}: simulated metrics diverge between fused and "
+                f"unfused runs\nfused:   {fp_fused}\nunfused: {fp_plain}")
+        entry = {
+            "fused_wall_seconds": round(fused_wall, 4),
+            "unfused_wall_seconds": round(plain_wall, 4),
+            "speedup": round(speedup(plain_wall, fused_wall), 3),
+            "simulated_seconds": runs_fused[0][1].total_seconds(),
+            "strata": runs_fused[0][1].num_iterations,
+            "simulated_metrics_identical": True,
+        }
+        recorded = baseline.get(name, {}).get("batch_wall_seconds")
+        if recorded:
+            entry["pr1_batch_wall_seconds"] = recorded
+            entry["speedup_vs_pr1_batch"] = round(
+                speedup(recorded, fused_wall), 3)
+        results["workloads"][name] = entry
+    results["geomean_speedup"] = round(_geomean(
+        [w["speedup"] for w in results["workloads"].values()]), 3)
+    vs_pr1 = [w["speedup_vs_pr1_batch"]
+              for w in results["workloads"].values()
+              if "speedup_vs_pr1_batch" in w]
+    if vs_pr1:
+        results["geomean_speedup_vs_pr1_batch"] = round(_geomean(vs_pr1), 3)
+    return results
+
+
 def _emit_traces(make_runner: Callable, name: str, trace_dir: str) -> Dict:
     """One fully-traced (untimed) batch run; writes JSONL + Chrome JSON."""
     import os
@@ -292,24 +380,46 @@ def main(argv=None) -> int:
     parser.add_argument("--measure-sanitizer", action="store_true",
                         help="also measure runtime-sanitizer overhead at "
                              "sample and full level (reported per workload)")
+    parser.add_argument("--fusion", action="store_true",
+                        help="measure fused vs unfused execution instead of "
+                             "batch vs per-tuple (the BENCH_5 payload; "
+                             "fails if simulated metrics differ)")
+    parser.add_argument("--baseline", default="BENCH_1.json",
+                        help="with --fusion: BENCH_1-format JSON whose "
+                             "recorded batch_wall_seconds serve as the "
+                             "PR 1 comparison point (skipped if missing)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    results = run_benchmark(smoke=args.smoke, nodes=args.nodes,
-                            seed=args.seed, repeats=args.repeats,
-                            trace_dir=args.trace_dir,
-                            measure_obs=args.measure_obs,
-                            measure_sanitizer=args.measure_sanitizer)
+    if args.fusion:
+        results = run_fusion_benchmark(smoke=args.smoke, nodes=args.nodes,
+                                       seed=args.seed, repeats=args.repeats,
+                                       baseline_path=args.baseline)
+    else:
+        results = run_benchmark(smoke=args.smoke, nodes=args.nodes,
+                                seed=args.seed, repeats=args.repeats,
+                                trace_dir=args.trace_dir,
+                                measure_obs=args.measure_obs,
+                                measure_sanitizer=args.measure_sanitizer)
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
     print(text)
-    for name, row in results["workloads"].items():
-        print(f"{name}: {row['speedup']}x "
-              f"({row['per_tuple_wall_seconds']}s -> "
-              f"{row['batch_wall_seconds']}s)")
+    if args.fusion:
+        for name, row in results["workloads"].items():
+            vs_pr1 = (f", {row['speedup_vs_pr1_batch']}x vs PR 1 batch"
+                      if "speedup_vs_pr1_batch" in row else "")
+            print(f"{name}: {row['speedup']}x "
+                  f"({row['unfused_wall_seconds']}s -> "
+                  f"{row['fused_wall_seconds']}s{vs_pr1})")
+        print(f"geomean: {results['geomean_speedup']}x fused vs unfused")
+    else:
+        for name, row in results["workloads"].items():
+            print(f"{name}: {row['speedup']}x "
+                  f"({row['per_tuple_wall_seconds']}s -> "
+                  f"{row['batch_wall_seconds']}s)")
     return 0
 
 

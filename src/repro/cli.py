@@ -288,20 +288,40 @@ def _read_query(query: str) -> str:
 
 
 def main_analyze(argv: List[str]) -> int:
+    from repro.optimizer.exchanges import add_exchanges
+    from repro.optimizer.fusion import fusion_report
+    from repro.optimizer.physical import lower
+
     args = build_analyze_parser().parse_args(argv)
     cluster = _build_cluster(args)
     if cluster is None:
         return 2
     session = RQLSession(cluster, optimize=not args.no_optimize)
+    query = _read_query(args.query)
     try:
-        report = session.analyze(_read_query(args.query))
+        report = session.analyze(query)
+        # The fusion pass runs on the lowered physical plan; surface its
+        # per-chain decisions alongside the diagnostics so the report
+        # shows what the executor will actually collapse.
+        node = session.logical_plan(query)
+        if not session.optimize:
+            node = add_exchanges(node)
+        fusion = fusion_report(lower(node).root)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(report.to_json(indent=2))
+        payload = json.loads(report.to_json())
+        payload["fusion"] = fusion
+        print(json.dumps(payload, indent=2))
     else:
         print(report.format())
+        if fusion:
+            print()
+            print("fusion decisions (physical plan)")
+            for d in fusion:
+                verdict = d["label"] if d["fused"] else "not fused"
+                print(f"  {d['path']}: {verdict} — {d['reason']}")
     return 1 if report.has_errors() else 0
 
 

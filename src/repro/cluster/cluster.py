@@ -121,6 +121,18 @@ class Worker:
         tally[seconds] = tally.get(seconds, 0) + 1
         return seconds
 
+    def charge_net_out_fanout(self, nbytes: int, count: int) -> float:
+        """Charge ``count`` identical single-message net-out costs of
+        ``nbytes`` each in one tally update.  The tally is a charge
+        *multiset*, so this is exactly ``count`` calls to
+        :meth:`charge_net_out` — the fast punctuation fanout uses it to
+        collapse a broadcast's bookkeeping without moving a bit of
+        simulated time."""
+        seconds = nbytes / self.cost.net_bandwidth + self.cost.net_latency
+        tally = self._net_out_tally
+        tally[seconds] = tally.get(seconds, 0) + count
+        return seconds * count
+
     def add_state_bytes(self, nbytes: int) -> None:
         """Track operator state growth; beyond the memory budget, the
         overflow is written out (the engine "spills overflow state to
@@ -173,7 +185,8 @@ class Cluster:
         }
         self.ring = HashRing(list(self.workers), virtual_nodes=virtual_nodes)
         self.catalog = Catalog()
-        self.network = SimulatedNetwork(on_bytes=self._charge_link)
+        self.network = SimulatedNetwork(on_bytes=self._charge_link,
+                                        on_bytes_fanout=self._charge_link_fanout)
 
     # -- topology ---------------------------------------------------------
     @property
@@ -220,6 +233,20 @@ class Cluster:
             sender.charge_net_out(nbytes)
         if receiver is not None and receiver.alive:
             receiver.charge_net_in(nbytes)
+
+    def _charge_link_fanout(self, src: int, dsts: List[int],
+                            nbytes: int) -> None:
+        """Bulk form of :meth:`_charge_link` for ``len(dsts)`` equal-size
+        sends from one node: per-endpoint charge multisets are identical
+        to charging each link individually."""
+        workers = self.workers
+        for dst in dsts:
+            receiver = workers.get(dst)
+            if receiver is not None and receiver.alive:
+                receiver.charge_net_in(nbytes)
+        sender = workers.get(src)
+        if sender is not None and sender.alive and dsts:
+            sender.charge_net_out_fanout(nbytes, len(dsts))
 
     def end_stratum_wall_time(self) -> float:
         """Close the current stratum on every live worker and return its

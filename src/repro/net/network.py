@@ -38,6 +38,11 @@ class Message:
     deltas: Optional[List[Any]] = None
     punct: Optional[Punctuation] = None
     meta: Any = None
+    """Optional transport annotation.  An ``int`` is a precomputed wire
+    size for the whole message (``size_bytes()`` of it, computed once by
+    a sender that already walked the deltas — e.g. the executor's
+    memoized checkpoint replication); :meth:`SimulatedNetwork.send` then
+    accounts that size without recounting the payload."""
 
     def size_bytes(self) -> int:
         if self.punct is not None:
@@ -73,16 +78,28 @@ class SimulatedNetwork:
     nothing on the wire.
     """
 
-    def __init__(self, on_bytes: Optional[Callable[[int, int, int], None]] = None):
+    def __init__(self, on_bytes: Optional[Callable[[int, int, int], None]] = None,
+                 on_bytes_fanout: Optional[Callable[[int, List[int], int], None]] = None):
         """``on_bytes(src, dst, nbytes)`` is invoked for every remote send so
-        the cluster can charge network time to both endpoints."""
+        the cluster can charge network time to both endpoints.
+        ``on_bytes_fanout(src, dsts, nbytes)`` is the bulk form used by
+        :meth:`send_punct_fanout`: one call covering ``len(dsts)`` equal
+        sends, charged so the endpoint tallies are identical to that many
+        ``on_bytes`` calls."""
         self._queue: Deque[Message] = deque()
         self._handlers: Dict[Tuple[int, str], Callable[[Message], None]] = {}
         self._on_bytes = on_bytes
+        self._on_bytes_fanout = on_bytes_fanout
         self.links: Dict[Tuple[int, int], LinkStats] = {}
         self.total_bytes = 0
         self.bytes_by_node: Dict[int, int] = {}
         self._dead: set = set()
+        #: Armed by the executor on fused, unperturbed runs: enables the
+        #: observer-free drain loop and bulk punctuation fanout.  Every
+        #: fast path preserves message order, delivery semantics, and
+        #: charge multisets exactly; paths that an observer must see fall
+        #: back to the hooked implementations automatically.
+        self.fast_path = False
         #: Optional observability hook (repro.obs / the sanitizer): an
         #: object with ``on_send(msg, wire_bytes)`` / ``on_deliver(msg)``
         #: and, optionally, ``on_drop(msg)`` for mail discarded at dead
@@ -113,7 +130,11 @@ class SimulatedNetwork:
             return  # a dead node cannot transmit
         nbytes = 0  # local sends cost nothing on the wire
         if msg.src != msg.dst:
-            nbytes = msg.size_bytes()
+            meta = msg.meta
+            # A sender that already walked the payload ships its wire
+            # size precomputed (int meta); recounting via size_bytes()
+            # would walk every delta a second time.
+            nbytes = meta if type(meta) is int else msg.size_bytes()
             self.total_bytes += nbytes
             self.bytes_by_node[msg.src] = self.bytes_by_node.get(msg.src, 0) + nbytes
             stats = self.links.setdefault((msg.src, msg.dst), LinkStats())
@@ -124,6 +145,47 @@ class SimulatedNetwork:
         if self.observer is not None:
             self.observer.on_send(msg, nbytes)
         self._queue.append(msg)
+
+    def send_punct_fanout(self, src: int, dsts, exchange: str,
+                          punct: Punctuation) -> None:
+        """Broadcast one punctuation to every node in ``dsts`` (in order).
+
+        The message stream, enqueue order, link stats, and per-endpoint
+        charge multisets are identical to ``len(dsts)`` individual
+        :meth:`send` calls; the bulk form only batches the bookkeeping
+        (one ``total_bytes`` update, one sender net-out tally covering
+        all remote copies).  Falls back to per-message sends whenever an
+        observer is attached or the fast path is off, so hooks see every
+        message individually.
+        """
+        if src in self._dead:
+            return  # a dead node cannot transmit
+        if self.observer is not None or not self.fast_path:
+            for dst in dsts:
+                self.send(Message(src=src, dst=dst, exchange=exchange,
+                                  punct=punct))
+            return
+        links = self.links
+        append = self._queue.append
+        remotes: List[int] = []
+        for dst in dsts:
+            if dst != src:
+                stats = links.get((src, dst))
+                if stats is None:
+                    stats = links[(src, dst)] = LinkStats()
+                stats.messages += 1
+                stats.bytes += PUNCT_BYTES
+                remotes.append(dst)
+            append(Message(src=src, dst=dst, exchange=exchange, punct=punct))
+        if remotes:
+            nbytes = len(remotes) * PUNCT_BYTES
+            self.total_bytes += nbytes
+            self.bytes_by_node[src] = self.bytes_by_node.get(src, 0) + nbytes
+            if self._on_bytes_fanout is not None:
+                self._on_bytes_fanout(src, remotes, PUNCT_BYTES)
+            elif self._on_bytes is not None:
+                for dst in remotes:
+                    self._on_bytes(src, dst, PUNCT_BYTES)
 
     def pending(self) -> int:
         return len(self._queue)
@@ -160,6 +222,25 @@ class SimulatedNetwork:
         the fabric is quiet and all punctuation has settled.
         """
         delivered = 0
+        if self.fast_path and self.observer is None and not self._dead:
+            # Observer-free drain: same FIFO order and handler dispatch
+            # as pop()+dispatch(), minus the per-message hook probes and
+            # dead-mail checks — neither can fire on this configuration
+            # (and a mid-run failure empties into the hooked loop below
+            # on the next call, because ``_dead`` becomes non-empty).
+            queue = self._queue
+            handlers = self._handlers
+            while queue:
+                msg = queue.popleft()
+                handler = handlers.get((msg.dst, msg.exchange))
+                if handler is None:
+                    raise ExecutionError(
+                        f"no handler for exchange {msg.exchange!r} on "
+                        f"node {msg.dst}"
+                    )
+                handler(msg)
+                delivered += 1
+            return delivered
         while True:
             msg = self.pop()
             if msg is None:

@@ -148,6 +148,25 @@ class ObsContext:
     def operator_stats(self) -> List[OperatorStats]:
         return [s for _, s in self._ops]
 
+    def fusion_groups(self) -> List[Dict]:
+        """Fused kernels seen by this context: one entry per instrumented
+        :class:`~repro.operators.fused.FusedKernel` instance, with its
+        constituent operator names (data-flow order) and the number of
+        batches that entered the kernel."""
+        groups = []
+        for op, stats in self._ops:
+            constituents = getattr(op, "constituents", None)
+            if constituents is None:
+                continue
+            groups.append({
+                "op_id": stats.op_id,
+                "node": stats.node,
+                "label": stats.name,
+                "constituents": [c.name for c in constituents],
+                "fused_batches": getattr(op, "fused_batches", 0),
+            })
+        return groups
+
     # ------------------------------------------------------------------
     # Operator instrumentation
     # ------------------------------------------------------------------
@@ -473,6 +492,9 @@ class ObsContext:
                 reg.counter(f"{memo}.hits").value = op.memo_hits
                 reg.counter(f"{memo}.misses").value = op.memo_misses
                 reg.counter(f"{memo}.evictions").value = op.memo_evictions
+            fused_batches = getattr(op, "fused_batches", None)
+            if fused_batches is not None:
+                reg.counter(f"{base}.fused_batches").value = fused_batches
             state_size = getattr(op, "state_size", None)
             if state_size is not None:
                 reg.gauge(f"{base}.state_size").set(state_size())

@@ -159,6 +159,22 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
                      f"{metrics.total_bytes()} bytes shuffled, "
                      f"{metrics.total_tuples()} tuples processed")
 
+    fusion = obs.fusion_groups()
+    if fusion:
+        lines.append("")
+        lines.append("fusion groups (constituents keep their own cost rows "
+                     "above)")
+        # One line per distinct kernel shape: instances across workers are
+        # the same plan position, so aggregate like the cost table does.
+        by_label: Dict[str, List[Dict]] = {}
+        for group in fusion:
+            by_label.setdefault(group["label"], []).append(group)
+        for label in sorted(by_label):
+            groups = by_label[label]
+            batches = sum(g["fused_batches"] for g in groups)
+            lines.append(f"  {label}: {len(groups)} instance(s), "
+                         f"{batches} fused batch(es)")
+
     memo_names = obs.registry.names("memo.")
     if memo_names:
         lines.append("")

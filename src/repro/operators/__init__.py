@@ -14,6 +14,7 @@ from repro.operators.expressions import (
     make_row_fn,
 )
 from repro.operators.fixpoint import FeedbackSource, Fixpoint
+from repro.operators.fused import FusedKernel
 from repro.operators.groupby import GroupBy
 from repro.operators.join import HashJoin
 from repro.operators.misc import REQUESTOR_NODE, Collect, ResultSink, Union
@@ -35,6 +36,7 @@ __all__ = [
     "Filter",
     "Project",
     "ApplyFunction",
+    "FusedKernel",
     "HashJoin",
     "GroupBy",
     "Fixpoint",

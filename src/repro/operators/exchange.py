@@ -48,8 +48,12 @@ class RehashSender(Operator):
         self.broadcast = broadcast
         self._buffers: Dict[int, List[Delta]] = {}
         # row -> destination memo, invalidated when the snapshot's live
-        # set changes (node failure re-routes ranges mid-query).
+        # set changes (node failure re-routes ranges mid-query).  A second
+        # key -> destination level backs it: streams of mostly-distinct
+        # rows over few keys (SSSP's distance offers) miss the row level
+        # but skip the ring hash via the key level.
         self._dst_cache: Dict[tuple, int] = {}
+        self._key_dst_cache: Dict[tuple, int] = {}
         self._dst_version = -1
         # Memo accounting, surfaced by repro.obs as memo.rehash.* counters.
         # Only exceptional branches touch these per-delta (misses, cap
@@ -130,11 +134,13 @@ class RehashSender(Operator):
                 # memoized destination: count it as a bulk eviction.
                 self.memo_evictions += len(self._dst_cache)
             self._dst_cache.clear()
+            self._key_dst_cache.clear()
             self._dst_version = snapshot.version
         # The memo is keyed by the *row*, not the extracted key: equal rows
         # extract equal keys (key functions are pure), so a hit skips both
         # the key_fn call and the ring lookup.
         dst_for_row = self._dst_cache
+        dst_for_key = self._key_dst_cache
         memo_cap = self.memo_cap
         misses = splits = 0
         for delta in deltas:
@@ -147,18 +153,28 @@ class RehashSender(Operator):
                     self._route(Delta(DeltaOp.DELETE, delta.old))
                     self._route(Delta(DeltaOp.INSERT, row))
                     continue
+            # get() instead of [] + KeyError: mostly-distinct row streams
+            # (SSSP offers) miss the row level on nearly every delta, and
+            # a raised exception costs far more than a None test.
             try:
-                dst = dst_for_row[row]
-            except KeyError:
-                misses += 1
-                dst = primary(normalize(key_fn(row)))
-                if len(dst_for_row) >= memo_cap:
-                    self.memo_evictions += len(dst_for_row)
-                    dst_for_row.clear()
-                dst_for_row[row] = dst
+                dst = dst_for_row.get(row)
             except TypeError:
                 misses += 1  # unhashable row: uncacheable lookup
                 dst = primary(normalize(key_fn(row)))
+            else:
+                if dst is None:
+                    misses += 1
+                    key = key_fn(row)
+                    dst = dst_for_key.get(key)
+                    if dst is None:
+                        dst = primary(normalize(key))
+                        if len(dst_for_key) >= memo_cap:
+                            dst_for_key.clear()
+                        dst_for_key[key] = dst
+                    if len(dst_for_row) >= memo_cap:
+                        self.memo_evictions += len(dst_for_row)
+                        dst_for_row.clear()
+                    dst_for_row[row] = dst
             try:
                 buf = buffers[dst]
             except KeyError:
@@ -182,9 +198,18 @@ class RehashSender(Operator):
         counts one punctuation per live sender)."""
         for dst in list(self._buffers):
             self._flush(dst)
-        for dst in self.ctx.snapshot.live_nodes():
-            self.ctx.cluster.network.send(Message(
-                src=self.ctx.node_id, dst=dst,
+        ctx = self.ctx
+        live = ctx.snapshot.live_nodes()
+        if ctx.fuse:
+            # Bulk broadcast: identical message stream and charge
+            # multisets to the loop below (the network falls back to
+            # per-message sends itself whenever an observer is attached).
+            ctx.cluster.network.send_punct_fanout(
+                ctx.node_id, live, self.exchange, punct)
+            return
+        for dst in live:
+            ctx.cluster.network.send(Message(
+                src=ctx.node_id, dst=dst,
                 exchange=self.exchange, punct=punct,
             ))
 

@@ -25,7 +25,7 @@ from repro.common.punctuation import Punctuation
 from repro.common.sizes import row_bytes
 from repro.operators.base import Operator
 from repro.udf.aggregates import AggregateSpec
-from repro.udf.builtins import Sum
+from repro.udf.builtins import ArgMin, Sum
 
 
 class _Group:
@@ -173,9 +173,14 @@ class GroupBy(Operator):
             # agg_state call.
             s_sum_fast = (specs[0].aggregator.__class__ is Sum
                           and s_per_delta is None)
+            # Same idea for ArgMin inserts (SSSP's offer stream): the
+            # multiset add is inlined below with _key's exact (value, id)
+            # ordering.  ArgMax keeps the generic call (_Rev wrapping).
+            s_argmin_fast = (specs[0].aggregator.__class__ is ArgMin
+                             and s_per_delta is None)
         else:
             single = False
-            s_sum_fast = False
+            s_sum_fast = s_argmin_fast = False
         # row -> key memo: group keys repeat heavily (every δ aimed at a
         # group re-extracts the same key), and key functions are pure.
         key_memo = self._key_memo
@@ -196,17 +201,22 @@ class GroupBy(Operator):
                     self.process(Delta(insert, row), port)
                     continue
             else:
+                # get() instead of [] + KeyError: streams of mostly-distinct
+                # rows (SSSP's offers) miss on nearly every delta, and a
+                # raised exception costs far more than a None test (key
+                # functions return tuples, never None).
                 try:
-                    key = key_memo[row]
-                except KeyError:
-                    misses += 1
-                    if len(key_memo) >= key_memo_cap:
-                        self.memo_evictions += len(key_memo)
-                        key_memo.clear()
-                    key = key_memo[row] = key_fn(row)
+                    key = key_memo.get(row)
                 except TypeError:
                     misses += 1  # unhashable row: uncacheable lookup
                     key = key_fn(row)
+                else:
+                    if key is None:
+                        misses += 1
+                        if len(key_memo) >= key_memo_cap:
+                            self.memo_evictions += len(key_memo)
+                            key_memo.clear()
+                        key = key_memo[row] = key_fn(row)
             if worker.state_bytes > memory_budget:
                 charge_state_access()
             try:
@@ -218,6 +228,22 @@ class GroupBy(Operator):
                 worker.add_state_bytes(row_bytes(key) + 32)
             if op is insert:
                 group.live += 1
+                if s_argmin_fast:
+                    ident, value = s_arg(row)
+                    # ArgMin.agg_state's INSERT branch with _key and the
+                    # multiset add inlined (no charge: INSERT carries no
+                    # per-delta or UDC cost on this path).
+                    state0 = group.states[0]
+                    k = (value, ident)
+                    mlive = state0._live
+                    mlive[k] = mlive.get(k, 0) + 1
+                    state0.size += 1
+                    if not state0._stale:
+                        best = state0._best
+                        if best is None or k < best:
+                            state0._best = k
+                    dirty[key] = None
+                    continue
             elif op is delete:
                 group.live -= 1
             elif op is value_update:
@@ -272,9 +298,17 @@ class GroupBy(Operator):
     def _flush_key(self, key: tuple, group: _Group,
                    out: Optional[List[Delta]] = None) -> None:
         emit = self.emit if out is None else out.append
-        outputs = tuple(spec.aggregator.agg_result(state)
-                        for spec, state in zip(self.specs, group.states))
-        empty = group.live <= 0 and all(v is None for v in outputs)
+        specs = self.specs
+        if len(specs) == 1:
+            # Single-aggregate flush (the common shape for the benchmark
+            # workloads): skip the generator/zip machinery per key.
+            value = specs[0].aggregator.agg_result(group.states[0])
+            outputs = (value,)
+            empty = group.live <= 0 and value is None
+        else:
+            outputs = tuple(spec.aggregator.agg_result(state)
+                            for spec, state in zip(specs, group.states))
+            empty = group.live <= 0 and all(v is None for v in outputs)
         if empty:
             if group.last is not None:
                 emit(Delta(DeltaOp.DELETE, group.last))

@@ -143,9 +143,13 @@ class Filter(Operator):
         if self.predicate(delta.row):
             self.emit(delta)
 
-    def push_batch(self, deltas, port: int = 0) -> None:
-        if not deltas:
-            return
+    def transform_batch(self, deltas) -> List[Delta]:
+        """Charge and filter one batch, returning the surviving deltas.
+
+        The batch entry point and :class:`~repro.operators.fused.FusedKernel`
+        both drive this, so fused and unfused execution share one body (same
+        outputs, same charge multisets).
+        """
         self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
         predicate = self.predicate
         replace = DeltaOp.REPLACE
@@ -163,7 +167,12 @@ class Filter(Operator):
                     append(Delta(DeltaOp.DELETE, delta.old))
             elif predicate(delta.row):
                 append(delta)
-        self.emit_batch(out)
+        return out
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.emit_batch(self.transform_batch(deltas))
 
 
 class Project(Operator):
@@ -181,9 +190,9 @@ class Project(Operator):
         else:
             self.emit(delta.with_row(self.row_fn(delta.row)))
 
-    def push_batch(self, deltas, port: int = 0) -> None:
-        if not deltas:
-            return
+    def transform_batch(self, deltas) -> List[Delta]:
+        """Charge and project one batch (shared by ``push_batch`` and
+        fused-kernel execution)."""
         self.ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
         row_fn = self.row_fn
         replace = DeltaOp.REPLACE
@@ -196,7 +205,12 @@ class Project(Operator):
             else:
                 append(Delta(delta.op, row_fn(delta.row),
                              payload=delta.payload))
-        self.emit_batch(out)
+        return out
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.emit_batch(self.transform_batch(deltas))
 
 
 class ApplyFunction(Operator):
@@ -269,9 +283,9 @@ class ApplyFunction(Operator):
         for out in self._invoke(delta.row):
             self.emit(delta.with_row(out))
 
-    def push_batch(self, deltas, port: int = 0) -> None:
-        if not deltas:
-            return
+    def transform_batch(self, deltas) -> List[Delta]:
+        """Charge and apply the UDF over one batch (shared by
+        ``push_batch`` and fused-kernel execution)."""
         ctx = self.ctx
         ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
         udf = self.udf
@@ -321,4 +335,9 @@ class ApplyFunction(Operator):
                         out.append(delta.with_row(row))
         self.calls += calls
         ctx.charge_cpu(call_cost, calls)
-        self.emit_batch(out)
+        return out
+
+    def push_batch(self, deltas, port: int = 0) -> None:
+        if not deltas:
+            return
+        self.emit_batch(self.transform_batch(deltas))

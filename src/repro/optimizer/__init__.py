@@ -12,6 +12,11 @@ from repro.optimizer.cost import (
 )
 from repro.optimizer.exchanges import add_exchanges
 from repro.optimizer.explain import explain
+from repro.optimizer.fusion import (
+    FusionDecision,
+    fuse_plan,
+    fusion_report,
+)
 from repro.optimizer.logical import (
     LAggCall,
     LApply,
@@ -50,6 +55,9 @@ __all__ = [
     "add_exchanges",
     "explain",
     "lower",
+    "FusionDecision",
+    "fuse_plan",
+    "fusion_report",
     "normalize_filter_ranks",
     "push_filter_into_join",
     "push_pre_aggregation",

@@ -18,6 +18,7 @@ from repro.runtime.plan import (
     PFeedback,
     PFilter,
     PFixpoint,
+    PFused,
     PGroupBy,
     PJoin,
     PNode,
@@ -49,5 +50,6 @@ __all__ = [
     "PRehash",
     "PUnion",
     "PFixpoint",
+    "PFused",
     "PCollect",
 ]

@@ -19,7 +19,8 @@ from repro.cluster.metrics import IterationMetrics, QueryMetrics
 from repro.common.deltas import Delta, DeltaOp
 from repro.common.errors import ExecutionError, RecoveryError
 from repro.common.punctuation import Punctuation
-from repro.net.network import Message
+from repro.common.sizes import row_bytes, value_bytes
+from repro.net.network import Message, PUNCT_BYTES
 from repro.storage.hashing import normalize_key
 from repro.operators import (
     ApplyFunction,
@@ -29,6 +30,7 @@ from repro.operators import (
     FeedbackSource,
     Filter,
     Fixpoint,
+    FusedKernel,
     GroupBy,
     HashJoin,
     Project,
@@ -45,6 +47,7 @@ from repro.runtime.plan import (
     PFeedback,
     PFilter,
     PFixpoint,
+    PFused,
     PGroupBy,
     PJoin,
     PNode,
@@ -116,6 +119,22 @@ class ExecOptions:
     eligible message deliveries and per-stratum worker iteration order
     under a seed.  Used by the determinism checker to hunt schedule races;
     ``None`` leaves the schedule alone."""
+    fuse: bool = True
+    """Fused kernels + engine fast paths: collapse maximal stateless
+    operator chains into :class:`~repro.operators.fused.FusedKernel`
+    pipelines (:mod:`repro.optimizer.fusion`) and enable the
+    metric-preserving fabric fast paths — bulk punctuation-fanout
+    accounting, the observer-free drain loop, checkpoint route/wire-size
+    memoization, and the small-stratum turnover path.  Simulated metrics
+    are bit-identical on or off (enforced by tests and the wallclock
+    harness); only wall clock changes.  Set False for the unfused
+    baseline, mirroring how ``batch`` landed."""
+    small_stratum_threshold: int = 64
+    """Strata whose admitted Δ-set is at or below this size take the
+    small-stratum turnover path when ``fuse`` is on and no
+    obs/sanitizer/perturbation hooks are attached: empty feedback and
+    checkpoint-replication work is elided instead of walked.  Wall-clock
+    knob only; simulated metrics are unchanged at any value."""
 
 
 @dataclass
@@ -181,6 +200,13 @@ class QueryExecutor:
         self._fixpoint_key_fn = None
         self._plan: Optional[PhysicalPlan] = None
         self.sanitizer = None
+        #: Per-chain :class:`repro.optimizer.fusion.FusionDecision` records
+        #: from the fusion pass (empty when ``fuse=False`` / no chains).
+        self.fusion_decisions: List = []
+        # Checkpoint-replication route memo (fuse fast path): fixpoint key
+        # -> tuple of replica targets, invalidated on ring-snapshot change.
+        self._replica_memo: Dict = {}
+        self._replica_memo_version: Optional[int] = None
         # Every fixpoint key ever checkpointed: used to detect, on
         # recovery, ranges whose replicas have all been lost.
         self._checkpointed_keys: set = set()
@@ -191,9 +217,9 @@ class QueryExecutor:
     def _live_ids(self) -> List[int]:
         return [w.id for w in self.cluster.alive_workers()]
 
-    def _assign_exchanges(self, plan: PhysicalPlan) -> None:
+    def _assign_exchanges(self, root: PNode) -> None:
         counter = itertools.count()
-        for node in plan.root.walk():
+        for node in root.walk():
             if isinstance(node, PRehash):
                 self._exchange_names[id(node)] = (
                     f"x{next(counter)}.a{self._attempt}"
@@ -207,7 +233,19 @@ class QueryExecutor:
         for dead in (n for n in self.cluster.node_ids()
                      if not self.cluster.workers[n].alive):
             self.snapshot.mark_failed(dead)
-        self._assign_exchanges(plan)
+        # Fusion runs after validation/analysis (those see the original
+        # plan) and rewrites only what the executor builds from.  The
+        # rewritten tree contains fresh node objects, so exchange naming
+        # and operator construction both walk the *fused* root.
+        exec_root = plan.root
+        self.fusion_decisions = []
+        if self.options.fuse:
+            # Imported lazily: repro.optimizer pulls in planner modules
+            # that must not be import-cycled with the runtime package.
+            from repro.optimizer.fusion import fuse_plan
+            exec_root, self.fusion_decisions = fuse_plan(plan.root)
+        self._exec_root = exec_root
+        self._assign_exchanges(exec_root)
         live = self._live_ids()
         if plan.fixpoint is not None:
             self._fixpoint_key_fn = plan.fixpoint.key_fn
@@ -229,6 +267,12 @@ class QueryExecutor:
             self.sanitizer.install_network(self.cluster.network)
         if self.options.perturb is not None:
             self.options.perturb.install(self.cluster.network)
+        # The fabric fast paths preserve message order and charge
+        # multisets exactly, but they bypass the hook points a
+        # perturbation rewires — so they arm only on unperturbed runs.
+        # (Paths that need observer==None additionally check that live.)
+        fuse_fabric = self.options.fuse and self.options.perturb is None
+        self.cluster.network.fast_path = fuse_fabric
         for node_id in live:
             worker = self.cluster.worker(node_id)
             if obs is not None:
@@ -236,10 +280,10 @@ class QueryExecutor:
             ctx = ExecContext(worker, cluster=self.cluster,
                               snapshot=self.snapshot, hooks=self._hooks,
                               batch=self.options.batch, obs=obs,
-                              sanitizer=self.sanitizer)
+                              sanitizer=self.sanitizer, fuse=fuse_fabric)
             wp = _WorkerPlan(node_id)
             self.worker_plans[node_id] = wp
-            self._build(plan.root, None, ctx, wp, len(live))
+            self._build(exec_root, None, ctx, wp, len(live))
             if self.options.checkpointing:
                 self._register_checkpoint_handler(node_id, wp)
 
@@ -319,6 +363,12 @@ class QueryExecutor:
                 reset_emissions_each_stratum=node.reset_emissions_each_stratum)
             gb._specs_factory = node.specs_factory
             return gb
+        if isinstance(node, PFused):
+            # Constituents are plain stateless operators; the kernel opens
+            # and wires them itself, so they are not re-registered in
+            # ``wp.operators`` (recovery resets stateful operators only).
+            return FusedKernel([self._make_operator(c, ctx, wp)
+                                for c in node.constituents])
         if isinstance(node, PUnion):
             return Union()
         if isinstance(node, PFixpoint):
@@ -355,63 +405,93 @@ class QueryExecutor:
     def _run_strata(self, plan: PhysicalPlan) -> Optional[QueryResult]:
         opts = self.options
         obs = opts.obs
+        sanitizer = self.sanitizer
+        perturb = opts.perturb
+        network = self.cluster.network
+        recursive = plan.is_recursive
+        # Hoisted out of the stratum loop: the live-plan list (recomputed
+        # only after a failure changes membership), the failure schedule,
+        # and the per-batch obs/checkpoint branch structure that used to
+        # be re-evaluated every stratum.
+        failures_by_stratum: Dict[int, List[FailureSpec]] = {}
+        for spec in opts.failure_specs():
+            failures_by_stratum.setdefault(spec.after_stratum,
+                                           []).append(spec)
+        # Quiet run: no hooks anywhere in the stratum loop.  Only then may
+        # the small-stratum turnover below elide work — and only work that
+        # is a no-op on simulated metrics by construction (an empty Δ-set
+        # under delta feedback has nothing to move or replicate).
+        quiet = (opts.fuse and obs is None and sanitizer is None
+                 and perturb is None and not failures_by_stratum)
+        small_threshold = opts.small_stratum_threshold
+        delta_feedback = opts.feedback_mode == "delta"
+        plans = self._live_plans()
         stratum = 0
         while True:
             it = self.metrics.begin_iteration(stratum)
             self._hooks.current = it
             if obs is not None:
                 obs.begin_stratum(stratum)
-            bytes_before = self.cluster.network.total_bytes
-            plans = self._live_plans()
-            if opts.perturb is not None:
-                plans = opts.perturb.worker_order(plans, stratum)
-            for wp in plans:
+            bytes_before = network.total_bytes
+            ordered = (plans if perturb is None
+                       else perturb.worker_order(plans, stratum))
+            for wp in ordered:
                 for source in wp.sources:
                     source.run_stratum(stratum)
-            self.cluster.network.drain()
+            network.drain()
 
-            admitted = sum(wp.fixpoint.admitted_this_stratum
-                           for wp in self._live_plans() if wp.fixpoint)
+            admitted = 0
+            mutable = 0
+            for wp in plans:
+                fp = wp.fixpoint
+                if fp is not None:
+                    admitted += fp.admitted_this_stratum
+                    mutable += fp.mutable_size()
             it.delta_count = admitted
-            it.mutable_size = sum(wp.fixpoint.mutable_size()
-                                  for wp in self._live_plans() if wp.fixpoint)
+            it.mutable_size = mutable
 
             pending: Dict[int, List[Delta]] = {}
-            if plan.is_recursive:
-                for wp in self._live_plans():
-                    if wp.fixpoint:
-                        pending[wp.worker_id] = wp.fixpoint.take_pending(
-                            opts.feedback_mode)
+            if recursive:
+                small = quiet and admitted <= small_threshold
+                if not (small and delta_feedback and admitted == 0):
+                    # Small-stratum fast path, terminal case: with delta
+                    # feedback, zero admissions means every fixpoint's
+                    # pending list is empty — collecting and replicating
+                    # them would move nothing.
+                    for wp in plans:
+                        if wp.fixpoint:
+                            pending[wp.worker_id] = wp.fixpoint.take_pending(
+                                opts.feedback_mode)
                 if opts.checkpointing:
                     if obs is not None:
                         # Checkpoint traffic is control-plane cost: charge
                         # it to a named system activity, not an operator.
                         with obs.system_frame("(checkpoint)"):
                             self._replicate_checkpoints(pending)
-                            self.cluster.network.drain()
-                    else:
-                        self._replicate_checkpoints(pending)
-                        self.cluster.network.drain()
-            if self.sanitizer is not None:
+                            network.drain()
+                    elif self._replicate_checkpoints(pending):
+                        network.drain()
+            if sanitizer is not None:
                 # The fabric is quiescent: verify exchange conservation.
-                self.sanitizer.end_stratum(stratum)
+                sanitizer.end_stratum(stratum)
 
             it.seconds = (self.cluster.end_stratum_wall_time()
                           + self.cluster.cost.rex_stratum_overhead)
-            it.bytes_sent = self.cluster.network.total_bytes - bytes_before
+            it.bytes_sent = network.total_bytes - bytes_before
             if obs is not None:
                 obs.end_stratum(stratum, it.seconds, it.bytes_sent,
                                 it.delta_count, it.mutable_size,
                                 it.tuples_processed)
 
-            due = [spec for spec in opts.failure_specs()
-                   if spec.after_stratum == stratum]
-            for spec in due:
-                outcome = self._handle_failure(plan, spec, pending)
-                if outcome is not None:
-                    return outcome  # restart path returns fresh results
+            due = failures_by_stratum.get(stratum)
+            if due:
+                for spec in due:
+                    outcome = self._handle_failure(plan, spec, pending)
+                    if outcome is not None:
+                        return outcome  # restart path returns fresh results
+                plans = self._live_plans()
 
-            if not plan.is_recursive:
+            if not recursive:
                 return None
             stop = (admitted == 0
                     or stratum + 1 >= opts.max_strata
@@ -419,7 +499,7 @@ class QueryExecutor:
                         and opts.termination(stratum, self)))
             if stop:
                 return None
-            for wp in self._live_plans():
+            for wp in plans:
                 if wp.feedback is not None and wp.worker_id in pending:
                     wp.feedback.deposit(pending[wp.worker_id])
             stratum += 1
@@ -458,35 +538,89 @@ class QueryExecutor:
 
         self.cluster.network.register(node_id, self._ckpt_exchange, handle)
 
-    def _replicate_checkpoints(self, pending: Dict[int, List[Delta]]) -> None:
-        """Replicate each worker's Δᵢ set to its replica machines."""
+    def _replicate_checkpoints(self, pending: Dict[int, List[Delta]]) -> int:
+        """Replicate each worker's Δᵢ set to its replica machines.
+
+        Returns the number of messages shipped (so the caller can skip
+        draining an untouched fabric).  With ``fuse`` on, replica routes
+        are memoized per fixpoint key (invalidated when the ring snapshot
+        changes) and each delta's wire size is computed once and carried
+        on the message as a precomputed size segment —
+        :meth:`~repro.net.network.Message.size_bytes` would recount the
+        identical bytes delta by delta.
+        """
         if self._fixpoint_key_fn is None:
-            return
+            return 0
         rf = self.options.checkpoint_replication
         if rf < 2:
-            return
+            return 0
         key_fn = self._fixpoint_key_fn
         original_replicas = self.snapshot.original_replicas
         add_checkpointed = self._checkpointed_keys.add
         obs = self.options.obs
         sanitizer = self.sanitizer
+        network = self.cluster.network
+        send = network.send
+        sent = 0
+        memo = None
+        if self.options.fuse:
+            memo = self._replica_memo
+            if self._replica_memo_version != self.snapshot.version:
+                memo.clear()
+                self._replica_memo_version = self.snapshot.version
         for worker_id, deltas in pending.items():
             batches: Dict[int, List[Delta]] = {}
-            for delta in deltas:
-                key = key_fn(delta.row)
-                add_checkpointed(key)
-                if sanitizer is not None:
-                    sanitizer.record_checkpoint(key, delta)
-                for replica in original_replicas(normalize_key(key), rf)[1:]:
-                    if replica != worker_id:
-                        batches.setdefault(replica, []).append(delta)
-            for dst, batch in batches.items():
-                self.cluster.network.send(Message(
-                    src=worker_id, dst=dst,
-                    exchange=self._ckpt_exchange, deltas=batch,
-                ))
+            if memo is not None:
+                nbytes_by_dst: Dict[int, int] = {}
+                for delta in deltas:
+                    key = key_fn(delta.row)
+                    add_checkpointed(key)
+                    if sanitizer is not None:
+                        sanitizer.record_checkpoint(key, delta)
+                    replicas = memo.get(key)
+                    if replicas is None:
+                        replicas = memo[key] = tuple(
+                            original_replicas(normalize_key(key), rf)[1:])
+                    nbytes = 1 + row_bytes(delta.row)
+                    if delta.old is not None:
+                        nbytes += row_bytes(delta.old)
+                    if delta.payload is not None:
+                        nbytes += value_bytes(delta.payload)
+                    for replica in replicas:
+                        if replica != worker_id:
+                            batch = batches.get(replica)
+                            if batch is None:
+                                batches[replica] = [delta]
+                                nbytes_by_dst[replica] = nbytes
+                            else:
+                                batch.append(delta)
+                                nbytes_by_dst[replica] += nbytes
+                for dst, batch in batches.items():
+                    send(Message(
+                        src=worker_id, dst=dst,
+                        exchange=self._ckpt_exchange, deltas=batch,
+                        meta=nbytes_by_dst[dst] + PUNCT_BYTES,
+                    ))
+                    sent += 1
+            else:
+                for delta in deltas:
+                    key = key_fn(delta.row)
+                    add_checkpointed(key)
+                    if sanitizer is not None:
+                        sanitizer.record_checkpoint(key, delta)
+                    for replica in original_replicas(
+                            normalize_key(key), rf)[1:]:
+                        if replica != worker_id:
+                            batches.setdefault(replica, []).append(delta)
+                for dst, batch in batches.items():
+                    send(Message(
+                        src=worker_id, dst=dst,
+                        exchange=self._ckpt_exchange, deltas=batch,
+                    ))
+                    sent += 1
             if obs is not None and deltas:
                 obs.checkpoint_write(worker_id, len(deltas), len(batches))
+        return sent
 
     # ------------------------------------------------------------------
     # Failure handling (Section 4.3, Figure 12)
@@ -572,6 +706,8 @@ class QueryExecutor:
             sanitize=self.options.sanitize,
             sanitize_seed=self.options.sanitize_seed,
             perturb=self.options.perturb,
+            fuse=self.options.fuse,
+            small_stratum_threshold=self.options.small_stratum_threshold,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)

@@ -116,6 +116,28 @@ class PRehash(PNode):
 
 
 @dataclass(frozen=True)
+class PFused(PNode):
+    """A maximal chain of stateless operators collapsed into one kernel.
+
+    ``constituents`` are the original chain nodes in *data-flow* order
+    (deepest child first), stored with their children stripped so a plan
+    walk sees each constituent exactly once.  ``children`` are the inputs
+    of the chain's deepest node.  Produced by
+    :func:`repro.optimizer.fusion.fuse_plan`; never built by hand.
+    """
+
+    constituents: Tuple[PNode, ...] = ()
+    children: Tuple[PNode, ...] = ()
+
+    def walk(self):
+        yield self
+        for constituent in self.constituents:
+            yield constituent
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
 class PUnion(PNode):
     children: Tuple[PNode, ...] = ()
 

@@ -14,7 +14,6 @@ paper uses for PageRank diffs).
 
 from __future__ import annotations
 
-import heapq
 from collections import Counter
 from typing import Any, Optional, Tuple
 
@@ -147,39 +146,57 @@ class _Rev:
 
 
 class _OrderStatMultiset:
-    """Multiset with O(log n) insert/delete and current-extreme lookup.
+    """Multiset with O(1) insert and amortized-cheap extreme lookup.
 
-    A heap with lazy deletion: removed values stay in the heap until they
-    surface, with a counter tracking live multiplicities.  This is the
-    "buffered state" the paper says min needs to answer deletions.
+    Live multiplicities plus a cached extreme.  An insert updates the
+    cache with one comparison; only deleting the last copy of the cached
+    extreme forces a rescan of the distinct live values, deferred to the
+    next ``extreme()`` call.  This is the "buffered state" the paper says
+    min needs to answer deletions — insert-heavy streams (SSSP's distance
+    offers) never pay for the deletion support.
     """
+
+    __slots__ = ("largest", "size", "_live", "_best", "_stale")
 
     def __init__(self, largest: bool):
         self.largest = largest
-        self._heap: list = []
-        self._live: Counter = Counter()
+        self._live: dict = {}
         self.size = 0
+        self._best = None
+        self._stale = False
 
     def add(self, value) -> None:
-        self._live[value] += 1
-        heapq.heappush(self._heap, _Rev(value) if self.largest else value)
+        live = self._live
+        live[value] = live.get(value, 0) + 1
         self.size += 1
+        if not self._stale:
+            best = self._best
+            if best is None or (value > best if self.largest
+                                else value < best):
+                self._best = value
 
     def remove(self, value) -> None:
-        if self._live[value] <= 0:
+        count = self._live.get(value, 0)
+        if count <= 0:
             raise UDFError(f"deleting value {value!r} not present in aggregate state")
-        self._live[value] -= 1
+        if count == 1:
+            del self._live[value]
+            if value == self._best:
+                # The cached extreme's last copy is gone; rescan lazily.
+                self._best = None
+                self._stale = True
+        else:
+            self._live[value] = count - 1
         self.size -= 1
 
     def extreme(self):
         """Current min (or max), or None if empty."""
-        while self._heap:
-            head = self._heap[0]
-            value = head.value if self.largest else head
-            if self._live[value] > 0:
-                return value
-            heapq.heappop(self._heap)
-        return None
+        if self.size <= 0:
+            return None
+        if self._stale:
+            self._best = (max if self.largest else min)(self._live)
+            self._stale = False
+        return self._best
 
 
 class Min(Aggregator):

@@ -1,0 +1,272 @@
+"""Property tests: fused execution is observationally identical to unfused.
+
+The fusion pass's contract is that ``ExecOptions(fuse=True)`` (kernels plus
+the metric-preserving fabric fast paths) changes only host wall-clock time:
+for every plan, the canonical result rows, the full
+``QueryMetrics.fingerprint``, and the runtime sanitizer's verdict are
+bit-identical with fusion on and off, in both batch and per-tuple mode.
+These tests drive the benchmark workloads and hand-built fusable plans
+through the whole fuse x batch matrix under ``sanitize=full``, then check
+the pass's legality decisions directly: stateful operators, exchange
+boundaries, and multi-input nodes must terminate a chain, and a
+single-operator "chain" must be declined.
+"""
+
+import pytest
+
+from repro.algorithms.kmeans import kmeans_plan
+from repro.algorithms.pagerank import pagerank_plan
+from repro.algorithms.sssp import make_start_table, sssp_plan
+from repro.cluster import Cluster
+from repro.datasets import dbpedia_like, geo_points, sample_centroids
+from repro.optimizer.fusion import fuse_plan, fusion_report
+from repro.runtime import (
+    ExecOptions,
+    PFilter,
+    PFused,
+    PGroupBy,
+    PJoin,
+    PProject,
+    PRehash,
+    PScan,
+    PhysicalPlan,
+    QueryExecutor,
+)
+from repro.runtime.plan import PApply
+from repro.udf import AggregateSpec, Sum
+
+
+def _pagerank():
+    cluster = Cluster(4)
+    edges = dbpedia_like(150, avg_out_degree=4.0, seed=11)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         edges, "srcId")
+    return cluster, pagerank_plan(mode="delta", tol=0.01), dict(
+        max_strata=60, feedback_mode="delta")
+
+
+def _sssp():
+    cluster = Cluster(4)
+    edges = dbpedia_like(150, avg_out_degree=4.0, seed=11)
+    cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                         edges, "srcId")
+    make_start_table(cluster, edges[0][0])
+    return cluster, sssp_plan(), dict(max_strata=200)
+
+
+def _kmeans():
+    cluster = Cluster(4)
+    points = geo_points(200, n_clusters=4, seed=11)
+    centroids = sample_centroids(points, 4, seed=12)
+    cluster.create_table("points", ["pid:Integer", "x:Double", "y:Double"],
+                         points, "pid")
+    cluster.create_table("centroids0",
+                         ["cid:Integer", "x:Double", "y:Double"],
+                         centroids, "cid")
+    return cluster, kmeans_plan(), dict(max_strata=120)
+
+
+WORKLOADS = [("pagerank", _pagerank), ("sssp", _sssp), ("kmeans", _kmeans)]
+
+
+def _observe(builder, fuse, batch, sanitize="full", obs=None):
+    """One fresh run; returns every observable the contract covers."""
+    cluster, plan, extra = builder()
+    options = ExecOptions(batch=batch, fuse=fuse, sanitize=sanitize,
+                          obs=obs, **extra)
+    executor = QueryExecutor(cluster, options)
+    result = executor.execute(plan)
+    violations = (result.sanitizer.report.codes()
+                  if result.sanitizer is not None else None)
+    return (sorted(result.rows), result.metrics.fingerprint(), violations,
+            executor)
+
+
+@pytest.mark.parametrize("name,builder", WORKLOADS)
+def test_benchmark_workload_fuse_batch_matrix(name, builder):
+    """Rows, fingerprints, and sanitizer verdicts identical across the
+    full fuse x batch matrix, with zero REX diagnostics everywhere."""
+    baseline = None
+    for fuse in (True, False):
+        for batch in (True, False):
+            rows, fp, violations, _ = _observe(builder, fuse, batch)
+            assert violations == [], (
+                f"{name}: sanitizer violations with fuse={fuse}, "
+                f"batch={batch}: {violations}")
+            if baseline is None:
+                baseline = (rows, fp)
+            else:
+                assert rows == baseline[0], (
+                    f"{name}: rows diverge with fuse={fuse}, batch={batch}")
+                assert fp == baseline[1], (
+                    f"{name}: fingerprint diverges with fuse={fuse}, "
+                    f"batch={batch}")
+
+
+# -- hand-built fusable chains ------------------------------------------
+
+def _chain_cluster():
+    cluster = Cluster(3)
+    rows = [(i, i % 7, float(i)) for i in range(200)]
+    cluster.create_table("t", ["id:Integer", "g:Integer", "v:Double"],
+                         rows, "id")
+    return cluster, rows
+
+
+def _chain_plan():
+    """Scan -> Filter -> Project -> Apply: a maximal 3-op fusable chain."""
+    chain = PApply(udf_factory=lambda: (lambda v: v * 2.0),
+                   arg_fn=lambda r: (r[2],), mode="extend",
+                   children=(PProject.over(
+                       PFilter.over(PScan("t"), lambda r: r[1] != 3),
+                       lambda r: (r[0], r[1], r[2] + 1.0)),))
+    return PhysicalPlan(chain)
+
+
+def test_custom_chain_fuses_and_matches_unfused():
+    def builder():
+        cluster, _ = _chain_cluster()
+        return cluster, _chain_plan(), {}
+
+    results = {}
+    for fuse in (True, False):
+        rows, fp, _, executor = _observe(builder, fuse, batch=True,
+                                         sanitize="off")
+        results[fuse] = (rows, fp)
+        fused_decisions = [d for d in executor.fusion_decisions if d.fused]
+        if fuse:
+            assert len(fused_decisions) == 1
+            assert fused_decisions[0].ops == ("Filter", "Project", "Apply")
+            assert fused_decisions[0].label() == "Fused[Filter→Project→Apply]"
+        else:
+            assert executor.fusion_decisions == []
+    assert results[True] == results[False]
+    _, rows200 = _chain_cluster()
+    expect = sorted((r[0], r[1], r[2] + 1.0, (r[2] + 1.0) * 2.0)
+                    for r in rows200 if r[1] != 3)
+    assert results[True][0] == expect
+
+
+def test_custom_chain_under_obs_reports_fusion_groups():
+    """Obs mode delegates to the wired chain but the kernel still counts
+    batches and surfaces the group through ObsContext.fusion_groups()."""
+    from repro.obs import ObsContext, Tracer
+
+    def builder():
+        cluster, _ = _chain_cluster()
+        return cluster, _chain_plan(), {}
+
+    obs = ObsContext(tracer=Tracer(enabled=False))
+    try:
+        rows_obs, fp_obs, _, _ = _observe(builder, fuse=True, batch=True,
+                                          sanitize="off", obs=obs)
+        groups = obs.fusion_groups()
+    finally:
+        obs.close()
+    assert groups, "fused kernel missing from fusion_groups()"
+    assert all(g["label"] == "Fused[Filter→Project→Apply]" for g in groups)
+    for g in groups:
+        assert [c.split("(", 1)[0] for c in g["constituents"]] == \
+            ["Filter", "Project", "Apply"]
+    assert sum(g["fused_batches"] for g in groups) > 0
+    rows_plain, fp_plain, _, _ = _observe(builder, fuse=True, batch=True,
+                                          sanitize="off")
+    assert rows_obs == rows_plain
+    assert fp_obs == fp_plain
+
+
+def test_chain_feeding_rehash_fuses_local_half():
+    """A chain below an exchange fuses into the sender's local pipeline:
+    the rehash's child becomes the PFused node."""
+    def builder():
+        cluster, _ = _chain_cluster()
+        plan = PhysicalPlan(PGroupBy(
+            key_fn=lambda r: (r[1],),
+            specs_factory=lambda: [AggregateSpec(Sum(),
+                                                 arg=lambda r: r[2])],
+            children=(PRehash.by(
+                PProject.over(
+                    PFilter.over(PScan("t"), lambda r: r[1] != 3),
+                    lambda r: (r[0], r[1], r[2] * 2.0)),
+                lambda r: (r[1],)),),
+        ))
+        return cluster, plan, {}
+
+    _, plan, _ = builder()
+    fused_root, decisions = fuse_plan(plan.root)
+    rehash = fused_root.children[0].children[0]  # Collect / GroupBy / Rehash
+    assert isinstance(rehash, PRehash)
+    assert isinstance(rehash.children[0], PFused)
+    assert [d.fused for d in decisions] == [True]
+    assert "exchange" not in decisions[0].reason  # chain is *below* it
+
+    rows_fused, fp_fused, _, _ = _observe(builder, True, True, "off")
+    rows_plain, fp_plain, _, _ = _observe(builder, False, True, "off")
+    assert rows_fused == rows_plain
+    assert fp_fused == fp_plain
+
+
+# -- legality: where the pass must decline ------------------------------
+
+def test_single_stateless_operator_declined():
+    root = PProject.over(PScan("t"), lambda r: r)
+    fused_root, decisions = fuse_plan(root)
+    assert fused_root is root  # identity-preserving: nothing rewritten
+    assert len(decisions) == 1
+    assert not decisions[0].fused
+    assert "single stateless operator" in decisions[0].reason
+    assert decisions[0].to_dict()["label"] is None
+
+
+def test_stateful_operator_breaks_chain():
+    """Project / GroupBy / Project: two length-1 fragments, both declined
+    — the pass must not fuse across the stateful operator."""
+    root = PProject.over(
+        PGroupBy(key_fn=lambda r: (r[0],),
+                 specs_factory=lambda: [AggregateSpec(Sum(),
+                                                      arg=lambda r: r[1])],
+                 children=(PProject.over(PScan("t"), lambda r: r),)),
+        lambda r: r)
+    fused_root, decisions = fuse_plan(root)
+    assert not any(d.fused for d in decisions)
+    assert len(decisions) == 2
+    assert not any(isinstance(n, PFused) for n in fused_root.walk())
+
+
+def test_exchange_boundary_terminates_chain():
+    root = PFilter.over(
+        PProject.over(PRehash.by(PScan("t"), lambda r: (r[0],)),
+                      lambda r: r),
+        lambda r: True)
+    _, decisions = fuse_plan(root)
+    assert len(decisions) == 1
+    assert decisions[0].fused
+    assert "exchange boundary (Rehash)" in decisions[0].reason
+
+
+def test_multi_input_operator_terminates_chain():
+    join = PJoin(left_key=lambda r: (r[0],), right_key=lambda r: (r[0],),
+                 children=(PScan("a"), PScan("b")))
+    root = PProject.over(PFilter.over(join, lambda r: True), lambda r: r)
+    _, decisions = fuse_plan(root)
+    assert len(decisions) == 1
+    assert decisions[0].fused
+    assert decisions[0].ops == ("Filter", "Project")
+    assert "stateful or source operator (Join)" in decisions[0].reason
+
+
+def test_fusion_report_matches_fuse_plan():
+    _, plan, _ = (lambda: (None, _chain_plan(), None))()
+    report = fusion_report(plan.root)
+    assert len(report) == 1
+    assert report[0]["fused"] is True
+    assert report[0]["ops"] == ["Filter", "Project", "Apply"]
+    assert report[0]["label"] == "Fused[Filter→Project→Apply]"
+
+
+def test_pfused_walk_covers_constituents():
+    fused_root, _ = fuse_plan(_chain_plan().root)  # PCollect over the chain
+    fused = fused_root.children[0]
+    assert isinstance(fused, PFused)
+    kinds = [type(n).__name__ for n in fused.walk()]
+    assert kinds == ["PFused", "PFilter", "PProject", "PApply", "PScan"]
