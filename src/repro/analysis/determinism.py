@@ -195,6 +195,9 @@ class DeterminismReport:
     #: Exchange bases whose isolated reordering reproduces the divergence
     #: (empty when no result race, or when minimization could not pin one).
     suspects: List[str] = field(default_factory=list)
+    #: Path of the flight-recorder bundle written for a finding (None when
+    #: no finding, or no bundle directory resolved).
+    flight_path: Optional[str] = None
 
     @property
     def has_races(self) -> bool:
@@ -207,6 +210,7 @@ class DeterminismReport:
             "runs": self.runs,
             "races": self.has_races,
             "suspects": list(self.suspects),
+            "flight_path": self.flight_path,
             "outcomes": [
                 {"index": o.index, "seed": o.seed,
                  "rows_diverged": o.rows_diverged,
@@ -219,13 +223,20 @@ class DeterminismReport:
 
 def check_determinism(run_query: Callable[[Optional[Perturbation]], Any],
                       perturbations: int = 3, seed: int = 0,
-                      minimize: bool = True) -> DeterminismReport:
+                      minimize: bool = True,
+                      flight_dir: Optional[str] = None
+                      ) -> DeterminismReport:
     """Execute ``run_query`` once unperturbed and ``perturbations`` times
     under seeded schedule perturbations; diff the results.
 
     ``run_query(perturb)`` must build a **fresh** cluster and plan each
     call (state must not leak between runs), pass ``perturb`` through as
     ``ExecOptions.perturb``, and return the :class:`QueryResult`.
+
+    On a REX205/REX206 finding a flight-recorder post-mortem bundle is
+    written (reason ``determinism``) when a directory resolves from
+    ``flight_dir`` or ``REX_FLIGHT_DIR``, carrying the checker's outcomes
+    and diagnostics alongside the divergent run's breadcrumbs.
     """
     report = DiagnosticReport()
     baseline = run_query(None)
@@ -235,6 +246,7 @@ def check_determinism(run_query: Callable[[Optional[Perturbation]], Any],
     outcomes: List[RunOutcome] = []
     exchanges_seen: set = set()
     first_divergent: Optional[Tuple[int, Counter]] = None
+    divergent_flight = None
     for k in range(perturbations):
         run_seed = 1 + seed * perturbations + k
         perturb = Perturbation(seed=run_seed)
@@ -245,6 +257,8 @@ def check_determinism(run_query: Callable[[Optional[Perturbation]], Any],
         rows_diverged = rows != base_rows
         fp_diverged = fp != base_fp
         outcomes.append(RunOutcome(k, run_seed, rows_diverged, fp_diverged))
+        if (rows_diverged or fp_diverged) and divergent_flight is None:
+            divergent_flight = getattr(result, "flight", None)
         if rows_diverged and first_divergent is None:
             first_divergent = (run_seed, rows)
         elif fp_diverged and not rows_diverged:
@@ -281,5 +295,36 @@ def check_determinism(run_query: Callable[[Optional[Perturbation]], Any],
                  "non-commutative folds, or unordered iteration",
         ))
 
-    return DeterminismReport(runs=perturbations, report=report,
-                             outcomes=outcomes, suspects=suspects)
+    out = DeterminismReport(runs=perturbations, report=report,
+                            outcomes=outcomes, suspects=suspects)
+    if len(report):
+        out.flight_path = _dump_flight(out, divergent_flight, flight_dir)
+    return out
+
+
+def _dump_flight(result: DeterminismReport, recorder,
+                 flight_dir: Optional[str]) -> Optional[str]:
+    """Write a ``determinism`` flight bundle for a REX205/206 finding.
+
+    ``recorder`` is the first divergent run's own
+    :class:`~repro.obs.flight.FlightRecorder` when that run kept one
+    (``ExecOptions.flight``, the default) so the bundle carries its
+    stratum breadcrumbs; a fresh recorder otherwise.
+    """
+    import os
+
+    from repro.obs.flight import ENV_DIR, FlightRecorder
+
+    directory = flight_dir or os.environ.get(ENV_DIR)
+    if not directory:
+        return None
+    if recorder is None:
+        recorder = FlightRecorder()
+    recorder.directory = directory
+    recorder.note(
+        "determinism", races=result.has_races,
+        suspects=list(result.suspects),
+        outcomes=[{"seed": o.seed, "rows": o.rows_diverged,
+                   "fingerprint": o.fingerprint_diverged}
+                  for o in result.outcomes])
+    return recorder.dump("determinism", diagnostics=result.report)

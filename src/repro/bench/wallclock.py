@@ -22,6 +22,11 @@ wall-clock axis this package tracks — fused vs unfused kernels
 (``ExecOptions(fuse=...)``) — and writes the BENCH_5 payload::
 
     PYTHONPATH=src python -m repro.bench.wallclock --fusion --out BENCH_5.json
+
+``--telemetry`` measures the flight recorder's and the live-telemetry
+sampler's wall overhead (both default-on) and writes the BENCH_7 payload::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --telemetry --out BENCH_7.json
 """
 
 from __future__ import annotations
@@ -96,7 +101,7 @@ def _workloads(smoke: bool, nodes: int, seed: int
 
 
 def _time_run(make_runner: Callable, batch: bool, obs=None,
-              sanitize: str = "off", fuse: bool = True
+              sanitize: str = "off", fuse: bool = True, flight: bool = True
               ) -> Tuple[float, float, QueryMetrics]:
     """Build a fresh cluster, then time one query execution.
 
@@ -110,7 +115,7 @@ def _time_run(make_runner: Callable, batch: bool, obs=None,
     runner = make_runner()
     setup_wall = time.perf_counter() - setup_start
     options = ExecOptions(batch=batch, obs=obs, sanitize=sanitize,
-                          fuse=fuse)
+                          fuse=fuse, flight=flight)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -339,6 +344,90 @@ def run_fusion_benchmark(smoke: bool = False, nodes: int = 8, seed: int = 7,
     return results
 
 
+#: Configurations the telemetry benchmark times, in rotation order.
+_TELEMETRY_CONFIGS = ("plain", "flight", "obs", "telemetry")
+
+
+def run_telemetry_benchmark(smoke: bool = False, nodes: int = 8,
+                            seed: int = 7, repeats: int = 1) -> Dict:
+    """Live-telemetry overhead; returns the BENCH_7 payload.
+
+    Four configurations per workload, all batch+fused:
+
+    * ``plain`` — ``ExecOptions(flight=False)``, no obs: the bare engine;
+    * ``flight`` — the default run path (flight recorder on, no obs):
+      its overhead vs ``plain`` is the cost every run now pays;
+    * ``obs`` — an ObsContext with the tracer disabled and
+      ``telemetry=False``: PR 2's instrumentation shape;
+    * ``telemetry`` — the same context with the sampler on (the new
+      default): its overhead vs ``obs`` is the sampler's own cost.
+
+    The run *fails* (AssertionError) if any configuration's
+    simulated-metrics fingerprint differs from ``plain`` — telemetry and
+    flight recording are charge-neutral by contract.  Acceptance: both
+    overheads ≤ 5% on PageRank.
+    """
+    from repro.obs import ObsContext, Tracer
+
+    results: Dict = {
+        "benchmark": "wallclock-telemetry-overhead",
+        "smoke": smoke,
+        "nodes": nodes,
+        "workloads": {},
+    }
+    configs = _TELEMETRY_CONFIGS
+    for name, make_runner in _workloads(smoke, nodes, seed):
+        walls: Dict[str, List[float]] = {c: [] for c in configs}
+        fps: Dict[str, tuple] = {}
+        sim = None
+        for r in range(repeats):
+            # Rotate the config order per repeat so monotone within-process
+            # drift penalizes every configuration equally.
+            k = r % len(configs)
+            for config in configs[k:] + configs[:k]:
+                if config == "plain":
+                    _, wall, m = _time_run(make_runner, batch=True,
+                                           flight=False)
+                elif config == "flight":
+                    _, wall, m = _time_run(make_runner, batch=True)
+                else:
+                    obs = ObsContext(tracer=Tracer(enabled=False),
+                                     telemetry=(config == "telemetry"))
+                    _, wall, m = _time_run(make_runner, batch=True, obs=obs,
+                                           flight=False)
+                walls[config].append(wall)
+                fps[config] = _metrics_fingerprint(m)
+                sim = m
+        base_fp = fps["plain"]
+        for config in configs:
+            if fps[config] != base_fp:
+                raise AssertionError(
+                    f"{name}: simulated metrics diverge with {config} "
+                    f"observability\nplain: {base_fp}\n"
+                    f"{config}: {fps[config]}")
+        plain = min(walls["plain"])
+        flight_wall = min(walls["flight"])
+        obs_wall = min(walls["obs"])
+        telemetry_wall = min(walls["telemetry"])
+
+        def _pct(measured: float, base: float):
+            return (round((measured - base) / base * 100.0, 2)
+                    if base > 0 else None)
+
+        results["workloads"][name] = {
+            "baseline_wall_seconds": round(plain, 4),
+            "flight_wall_seconds": round(flight_wall, 4),
+            "flight_overhead_pct": _pct(flight_wall, plain),
+            "obs_wall_seconds": round(obs_wall, 4),
+            "telemetry_wall_seconds": round(telemetry_wall, 4),
+            "telemetry_overhead_pct": _pct(telemetry_wall, obs_wall),
+            "simulated_seconds": sim.total_seconds(),
+            "strata": sim.num_iterations,
+            "simulated_metrics_identical": True,
+        }
+    return results
+
+
 def _emit_traces(make_runner: Callable, name: str, trace_dir: str) -> Dict:
     """One fully-traced (untimed) batch run; writes JSONL + Chrome JSON."""
     import os
@@ -384,6 +473,10 @@ def main(argv=None) -> int:
                         help="measure fused vs unfused execution instead of "
                              "batch vs per-tuple (the BENCH_5 payload; "
                              "fails if simulated metrics differ)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="measure flight-recorder and live-telemetry "
+                             "overhead instead (the BENCH_7 payload; fails "
+                             "if simulated metrics differ)")
     parser.add_argument("--baseline", default="BENCH_1.json",
                         help="with --fusion: BENCH_1-format JSON whose "
                              "recorded batch_wall_seconds serve as the "
@@ -392,7 +485,13 @@ def main(argv=None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    if args.fusion:
+    if args.fusion and args.telemetry:
+        parser.error("--fusion and --telemetry are mutually exclusive")
+    if args.telemetry:
+        results = run_telemetry_benchmark(smoke=args.smoke, nodes=args.nodes,
+                                          seed=args.seed,
+                                          repeats=args.repeats)
+    elif args.fusion:
         results = run_fusion_benchmark(smoke=args.smoke, nodes=args.nodes,
                                        seed=args.seed, repeats=args.repeats,
                                        baseline_path=args.baseline)
@@ -407,7 +506,15 @@ def main(argv=None) -> int:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
     print(text)
-    if args.fusion:
+    if args.telemetry:
+        for name, row in results["workloads"].items():
+            print(f"{name}: flight {row['flight_overhead_pct']}% "
+                  f"({row['baseline_wall_seconds']}s -> "
+                  f"{row['flight_wall_seconds']}s), telemetry "
+                  f"{row['telemetry_overhead_pct']}% "
+                  f"({row['obs_wall_seconds']}s -> "
+                  f"{row['telemetry_wall_seconds']}s)")
+    elif args.fusion:
         for name, row in results["workloads"].items():
             vs_pr1 = (f", {row['speedup_vs_pr1_batch']}x vs PR 1 batch"
                       if "speedup_vs_pr1_batch" in row else "")

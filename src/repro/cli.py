@@ -12,21 +12,27 @@ CSV headers name the columns; a header entry may carry an explicit type
 row (int -> Integer, float -> Double, else Varchar).  ``--explain`` prints
 the optimized plan instead of executing.
 
-Three subcommands wrap the analysis subsystem (``repro.analysis``):
+Five subcommands wrap the analysis and observability subsystems:
 
     python -m repro.cli analyze --table graph=edges.csv "SELECT ..."
     python -m repro.cli lint src [--format json]
     python -m repro.cli check --workload pagerank --perturbations 3
+    python -m repro.cli telemetry --workload pagerank [--format json]
+    python -m repro.cli flight flight-*.json [--format json]
 
 ``analyze`` prints the plan diagnostics without executing (exit 1 when
 any are error-level); ``lint`` runs the simulator-invariant linter over
 source trees; ``check`` runs the determinism checker — the same built-in
 workload executed under K seeded schedule perturbations, diffed for
-result races (REX205/REX206, exit 1 on a race).  Plain query runs refuse
-plans with error-level diagnostics unless ``--force`` is given (the
-bypassed report is still printed to stderr and attached to the trace),
-and ``--sanitize=sample|full`` turns on the runtime delta sanitizer
-(REX200-REX204, exit 1 on violations).
+result races (REX205/REX206, exit 1 on a race); ``telemetry`` runs a
+built-in workload with live telemetry attached and exports the metrics
+registry (OpenMetrics text or JSON); ``flight`` summarizes flight-recorder
+post-mortem bundles.  Plain query runs refuse plans with error-level
+diagnostics unless ``--force`` is given (the bypassed report is still
+printed to stderr and attached to the trace), ``--sanitize=sample|full``
+turns on the runtime delta sanitizer (REX200-REX204, exit 1 on
+violations), ``--telemetry FILE`` exports the run's metrics registry, and
+``--flight-dir DIR`` names where post-mortem bundles land.
 """
 
 from __future__ import annotations
@@ -131,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "default off)")
     parser.add_argument("--sanitize-seed", type=int, default=0,
                         help="seed for the sanitizer's sampling (default 0)")
+    parser.add_argument("--telemetry", metavar="FILE", default=None,
+                        help="export the run's metrics registry: OpenMetrics"
+                             " text ('-' for stdout; a .json suffix switches"
+                             " to a JSON snapshot)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="directory for flight-recorder post-mortem "
+                             "bundles (default: $REX_FLIGHT_DIR; with "
+                             "neither set, bundles stay in memory)")
     return parser
 
 
@@ -172,8 +186,7 @@ def build_check_parser() -> argparse.ArgumentParser:
         description="Determinism check: run a built-in workload under "
                     "seeded schedule perturbations and diff the results "
                     "(REX205/REX206).")
-    parser.add_argument("--workload",
-                        choices=("pagerank", "fig06", "sssp", "kmeans"),
+    parser.add_argument("--workload", choices=BUILTIN_WORKLOADS,
                         default="pagerank",
                         help="built-in workload (fig06 is PageRank on the "
                              "DBpedia-like generator, the Figure 6 plan)")
@@ -195,12 +208,44 @@ def build_check_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main_check(argv: List[str]) -> int:
+#: Workload names accepted by ``check`` and ``telemetry``.
+BUILTIN_WORKLOADS = ("pagerank", "fig06", "sssp", "kmeans")
+
+
+def _builtin_plan(workload: str, cluster: Cluster, scale: int,
+                  data_seed: int):
+    """Create a built-in workload's tables on ``cluster``; returns
+    ``(plan, max_strata)`` — shared by the ``check`` and ``telemetry``
+    subcommands (fig06 is PageRank on the DBpedia-like generator, the
+    Figure 6 plan)."""
     from repro.algorithms.kmeans import kmeans_plan
     from repro.algorithms.pagerank import pagerank_plan
     from repro.algorithms.sssp import make_start_table, sssp_plan
-    from repro.analysis.determinism import check_determinism
     from repro.datasets import dbpedia_like, geo_points, sample_centroids
+
+    if workload in ("pagerank", "fig06"):
+        edges = dbpedia_like(scale, avg_out_degree=4.0, seed=data_seed)
+        cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                             edges, "srcId")
+        return pagerank_plan(mode="delta", tol=0.01), 60
+    if workload == "sssp":
+        edges = dbpedia_like(scale, avg_out_degree=4.0, seed=data_seed)
+        cluster.create_table("graph", ["srcId:Integer", "destId:Integer"],
+                             edges, "srcId")
+        make_start_table(cluster, edges[0][0] if edges else 0)
+        return sssp_plan(), 200
+    points = geo_points(scale, n_clusters=4, seed=data_seed)
+    centroids = sample_centroids(points, 4, seed=data_seed + 1)
+    cluster.create_table("points", ["pid:Integer", "x:Double", "y:Double"],
+                         points, "pid")
+    cluster.create_table("centroids0",
+                         ["cid:Integer", "x:Double", "y:Double"],
+                         centroids, "cid")
+    return kmeans_plan(), 120
+
+
+def main_check(argv: List[str]) -> int:
+    from repro.analysis.determinism import check_determinism
     from repro.runtime.executor import QueryExecutor
 
     args = build_check_parser().parse_args(argv)
@@ -212,37 +257,9 @@ def main_check(argv: List[str]) -> int:
     # state left behind by the baseline.
     def run_query(perturb):
         cluster = Cluster(args.nodes)
-        opts = ExecOptions(perturb=perturb)
-        if args.workload in ("pagerank", "fig06"):
-            edges = dbpedia_like(args.scale, avg_out_degree=4.0,
-                                 seed=args.data_seed)
-            cluster.create_table("graph",
-                                 ["srcId:Integer", "destId:Integer"],
-                                 edges, "srcId")
-            plan = pagerank_plan(mode="delta", tol=0.01)
-            opts.max_strata = 60
-            opts.feedback_mode = "delta"
-        elif args.workload == "sssp":
-            edges = dbpedia_like(args.scale, avg_out_degree=4.0,
-                                 seed=args.data_seed)
-            cluster.create_table("graph",
-                                 ["srcId:Integer", "destId:Integer"],
-                                 edges, "srcId")
-            make_start_table(cluster, edges[0][0] if edges else 0)
-            plan = sssp_plan()
-            opts.max_strata = 200
-        else:
-            points = geo_points(args.scale, n_clusters=4,
-                                seed=args.data_seed)
-            centroids = sample_centroids(points, 4, seed=args.data_seed + 1)
-            cluster.create_table(
-                "points", ["pid:Integer", "x:Double", "y:Double"],
-                points, "pid")
-            cluster.create_table(
-                "centroids0", ["cid:Integer", "x:Double", "y:Double"],
-                centroids, "cid")
-            plan = kmeans_plan()
-            opts.max_strata = 120
+        plan, max_strata = _builtin_plan(args.workload, cluster,
+                                         args.scale, args.data_seed)
+        opts = ExecOptions(perturb=perturb, max_strata=max_strata)
         return QueryExecutor(cluster, opts).execute(plan)
 
     outcome = check_determinism(run_query,
@@ -257,7 +274,118 @@ def main_check(argv: List[str]) -> int:
         if outcome.suspects:
             print("suspect exchange(s): " + ", ".join(outcome.suspects))
         print(outcome.report.format())
+        if outcome.flight_path:
+            print(f"flight bundle written: {outcome.flight_path}")
     return 1 if outcome.has_races else 0
+
+
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli telemetry",
+        description="Run a built-in workload with live telemetry attached "
+                    "and export the metrics registry (OpenMetrics text "
+                    "exposition or a JSON snapshot).")
+    parser.add_argument("--workload", choices=BUILTIN_WORKLOADS,
+                        default="pagerank",
+                        help="built-in workload (default pagerank)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="simulated worker nodes (default 4)")
+    parser.add_argument("--scale", type=int, default=200,
+                        help="vertices (graphs) or points (kmeans); "
+                             "default 200")
+    parser.add_argument("--data-seed", type=int, default=7,
+                        help="synthetic dataset seed (default 7)")
+    parser.add_argument("--interval", type=float, default=None,
+                        help="simulated seconds between clock-grid samples "
+                             "(default 0.25)")
+    parser.add_argument("--prefix", default="",
+                        help="export only metrics under this dotted prefix "
+                             "(e.g. 'telemetry.'; default: everything)")
+    parser.add_argument("--format", choices=("openmetrics", "json"),
+                        default="openmetrics", help="output format")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write to FILE instead of stdout")
+    parser.add_argument("--analyze", action="store_true",
+                        help="also print EXPLAIN ANALYZE (with the "
+                             "telemetry sparklines) to stderr")
+    return parser
+
+
+def main_telemetry(argv: List[str]) -> int:
+    from repro.obs.export import openmetrics, registry_json
+    from repro.obs.timeseries import DEFAULT_INTERVAL
+    from repro.runtime.executor import QueryExecutor
+
+    args = build_telemetry_parser().parse_args(argv)
+    cluster = Cluster(args.nodes)
+    plan, max_strata = _builtin_plan(args.workload, cluster, args.scale,
+                                     args.data_seed)
+    interval = (args.interval if args.interval is not None
+                else DEFAULT_INTERVAL)
+    obs = ObsContext(telemetry_interval=interval)
+    options = ExecOptions(max_strata=max_strata, obs=obs)
+    try:
+        result = QueryExecutor(cluster, options).execute(plan)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        obs.close()
+    if args.format == "json":
+        text = registry_json(obs.registry, args.prefix)
+        if not text.endswith("\n"):
+            text += "\n"
+    else:
+        text = openmetrics(obs.registry, args.prefix)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    if args.analyze:
+        print(explain_analyze(obs, result.metrics), file=sys.stderr)
+    return 0
+
+
+def build_flight_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli flight",
+        description="Inspect flight-recorder post-mortem bundles written "
+                    "on a crash, sanitizer trip, or determinism race.")
+    parser.add_argument("bundles", nargs="+", metavar="BUNDLE.json",
+                        help="bundle file(s) to summarize")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--events", type=int, default=8,
+                        help="breadcrumb notes shown per bundle in text "
+                             "mode (default 8)")
+    return parser
+
+
+def main_flight(argv: List[str]) -> int:
+    from repro.obs.flight import format_summary, load_bundle, summarize
+
+    args = build_flight_parser().parse_args(argv)
+    summaries = []
+    status = 0
+    for path in args.bundles:
+        try:
+            doc = load_bundle(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if args.format == "json":
+            summaries.append({"path": path, **summarize(doc)})
+        else:
+            if summaries:
+                print()
+            summaries.append(path)
+            print(f"{path}:")
+            print(format_summary(doc, events=args.events))
+    if args.format == "json":
+        print(json.dumps(summaries, indent=2, default=str))
+    return status
 
 
 def _build_cluster(args) -> Optional[Cluster]:
@@ -345,6 +473,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return main_lint(argv[1:])
     if argv and argv[0] == "check":
         return main_check(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return main_telemetry(argv[1:])
+    if argv and argv[0] == "flight":
+        return main_flight(argv[1:])
 
     args = build_parser().parse_args(argv)
     query = _read_query(args.query)
@@ -355,7 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     session = RQLSession(cluster)
     obs = None
-    if args.trace or args.trace_chrome or args.analyze:
+    if args.trace or args.trace_chrome or args.analyze or args.telemetry:
         sinks = [RingBufferSink()]
         if args.trace:
             sinks.append(JsonlSink(args.trace))
@@ -367,10 +499,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         options = ExecOptions(max_strata=args.max_strata, obs=obs,
                               sanitize=args.sanitize,
-                              sanitize_seed=args.sanitize_seed)
+                              sanitize_seed=args.sanitize_seed,
+                              flight_dir=args.flight_dir)
         result = session.execute(query, options, check=not args.force)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        flight_path = getattr(exc, "rex_flight_path", None)
+        if flight_path:
+            print(f"flight bundle written: {flight_path}", file=sys.stderr)
         return 1
     finally:
         if obs is not None:
@@ -393,6 +529,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{m.total_seconds():.4f}s simulated, "
               f"{m.total_bytes()} bytes shuffled", file=sys.stderr)
     if obs is not None:
+        if args.telemetry:
+            from repro.obs.export import openmetrics, registry_json
+            text = (registry_json(obs.registry) + "\n"
+                    if args.telemetry.endswith(".json")
+                    else openmetrics(obs.registry))
+            if args.telemetry == "-":
+                sys.stdout.write(text)
+            else:
+                with open(args.telemetry, "w") as fh:
+                    fh.write(text)
         if args.trace_chrome:
             with open(args.trace_chrome, "w") as fh:
                 json.dump(chrome_trace(obs.tracer.events()), fh)
@@ -412,6 +558,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if sanitizer.report:
             print(sanitizer.report.format(), file=sys.stderr)
         if sanitizer.report.has_errors():
+            flight = result.flight
+            if flight is not None and flight.last_path:
+                print(f"flight bundle written: {flight.last_path}",
+                      file=sys.stderr)
             return 1
     return 0
 

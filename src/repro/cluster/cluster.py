@@ -248,13 +248,25 @@ class Cluster:
         if sender is not None and sender.alive and dsts:
             sender.charge_net_out_fanout(nbytes, len(dsts))
 
-    def end_stratum_wall_time(self) -> float:
+    def end_stratum_wall_time(self, per_node: Optional[Dict[int, float]]
+                              = None) -> float:
         """Close the current stratum on every live worker and return its
         simulated wall time: the slowest node's overlap-combined resource
-        vector (execution is barrier-synchronised between strata)."""
-        times = [w.end_stratum().combined_time(self.cost.overlap)
-                 for w in self.workers.values() if w.alive]
-        return max(times, default=0.0)
+        vector (execution is barrier-synchronised between strata).
+
+        With ``per_node`` given (a dict), each live node's own combined
+        time is recorded into it — the skew view the telemetry sampler
+        publishes as ``telemetry.node.n<K>.stratum_seconds``."""
+        best = 0.0
+        for w in self.workers.values():
+            if not w.alive:
+                continue
+            t = w.end_stratum().combined_time(self.cost.overlap)
+            if per_node is not None:
+                per_node[w.id] = t
+            if t > best:
+                best = t
+        return best
 
     def reset_usage(self) -> None:
         for w in self.workers.values():

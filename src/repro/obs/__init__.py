@@ -13,6 +13,8 @@ and the registry naming scheme.
 """
 
 from repro.obs.context import KIND_LABELS, ObsContext, OperatorStats
+from repro.obs.export import openmetrics, registry_json, sparkline
+from repro.obs.flight import FlightRecorder, load_bundle
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -21,6 +23,7 @@ from repro.obs.registry import (
     Series,
 )
 from repro.obs.report import attribution_coverage, explain_analyze
+from repro.obs.timeseries import TelemetrySampler
 from repro.obs.trace import (
     JsonlSink,
     RingBufferSink,
@@ -51,4 +54,10 @@ __all__ = [
     "validate_jsonl",
     "explain_analyze",
     "attribution_coverage",
+    "TelemetrySampler",
+    "FlightRecorder",
+    "load_bundle",
+    "openmetrics",
+    "registry_json",
+    "sparkline",
 ]

@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.deltas import DeltaOp
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import DEFAULT_INTERVAL, TelemetrySampler
 from repro.obs.trace import RingBufferSink, Tracer, TraceSink
 
 #: DeltaOp symbol -> registry-safe label.
@@ -85,11 +86,17 @@ class ObsContext:
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 trace_pushes: bool = True):
+                 trace_pushes: bool = True, telemetry: bool = True,
+                 telemetry_interval: float = DEFAULT_INTERVAL):
         self.tracer = tracer if tracer is not None else Tracer(
             sinks=[RingBufferSink()])
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace_pushes = trace_pushes
+        #: Live time-series sampling (:mod:`repro.obs.timeseries`), on by
+        #: default; ``telemetry=False`` keeps PR 2's post-hoc-only shape.
+        self.telemetry: Optional[TelemetrySampler] = (
+            TelemetrySampler(self.registry, interval=telemetry_interval)
+            if telemetry else None)
         self.stratum: Optional[int] = None
         self.unattributed_seconds = 0.0
         self._clock = time.perf_counter
@@ -99,6 +106,10 @@ class ObsContext:
         self._workers_instrumented: set = set()
         self._exchange_stats: Dict[str, list] = {}  # [msgs, bytes, deltas]
         self._system_stats: Dict[str, OperatorStats] = {}
+        # In-flight message depth (sends minus deliveries/drops) and its
+        # per-stratum peak — the telemetry sampler's queue-pressure view.
+        self._inflight = 0
+        self._inflight_peak = 0
 
     # ------------------------------------------------------------------
     # Attribution frames
@@ -408,6 +419,10 @@ class ObsContext:
         entry[0] += 1
         entry[1] += nbytes
         entry[2] += n_deltas
+        depth = self._inflight + 1
+        self._inflight = depth
+        if depth > self._inflight_peak:
+            self._inflight_peak = depth
         if self.tracer.enabled:
             self.tracer.instant(
                 "send", "exchange", msg.src, stratum=self.stratum,
@@ -415,12 +430,24 @@ class ObsContext:
                 bytes=nbytes, punct=msg.punct is not None)
 
     def on_deliver(self, msg) -> None:
+        self._inflight -= 1
         if self.tracer.enabled and self.trace_pushes:
             self.tracer.instant(
                 "recv", "exchange", msg.dst, stratum=self.stratum,
                 exchange=msg.exchange, src=msg.src,
                 deltas=len(msg.deltas) if msg.deltas else 0,
                 punct=msg.punct is not None)
+
+    def on_drop(self, msg) -> None:
+        """Mail discarded at a dead destination still left the queue."""
+        self._inflight -= 1
+
+    def take_inflight_peak(self) -> int:
+        """The peak in-flight message depth since the last call (the
+        telemetry sampler reads this once per stratum)."""
+        peak = self._inflight_peak
+        self._inflight_peak = self._inflight
+        return peak
 
     # ------------------------------------------------------------------
     # Stratum / checkpoint lifecycle (called by the executor)
@@ -432,7 +459,8 @@ class ObsContext:
 
     def end_stratum(self, stratum: int, seconds: float, bytes_sent: int,
                     delta_count: int, mutable_size: int,
-                    tuples_processed: int) -> None:
+                    tuples_processed: int,
+                    node_seconds: Optional[Dict[int, float]] = None) -> None:
         t0 = getattr(self, "_stratum_t0", self.tracer.now())
         self.tracer.complete(
             "stratum.end", "stratum", -1, ts=t0,
@@ -445,6 +473,10 @@ class ObsContext:
         reg.series("stratum.bytes_sent").append(stratum, bytes_sent)
         reg.series("stratum.delta_count").append(stratum, delta_count)
         reg.series("stratum.mutable_size").append(stratum, mutable_size)
+        if self.telemetry is not None:
+            self.telemetry.sample_stratum(
+                self, stratum, seconds, bytes_sent, delta_count,
+                mutable_size, tuples_processed, node_seconds=node_seconds)
 
     def record_fixpoint(self, node: int, stratum: int, delta_out: int,
                         mutable_size: int) -> None:

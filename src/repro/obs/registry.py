@@ -18,6 +18,7 @@ type is an error (names are globally unique).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 
@@ -60,13 +61,20 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of observed values: count/sum/min/max.
+    """A streaming summary of observed values with fixed log2 buckets.
 
-    Kept deliberately light (no buckets): the report layer derives means,
-    and full distributions belong in trace events, not the registry.
+    The cheap count/sum/min/max summary is unchanged; additionally every
+    positive value lands in the bucket whose upper bound is the smallest
+    power of two at or above it (``v in (2^(e-1), 2^e]``), and non-positive
+    values land in a dedicated underflow bucket.  The buckets make the
+    histogram quantile-capable: ``quantile(q)`` walks the cumulative
+    bucket counts and reports the matched bucket's upper bound, clamped
+    into ``[min, max]`` — the standard exposition-histogram estimate,
+    exact to within one power of two.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "underflow")
 
     def __init__(self, name: str):
         self.name = name
@@ -74,6 +82,8 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}  # exponent e -> count, le = 2**e
+        self.underflow = 0                 # values <= 0
 
     def record(self, value) -> None:
         self.count += 1
@@ -82,14 +92,54 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value > 0:
+            mantissa, e = math.frexp(value)
+            if mantissa == 0.5:  # exact power of two: 2**(e-1) is its le
+                e -= 1
+            self.buckets[e] = self.buckets.get(e, 0) + 1
+        else:
+            self.underflow += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = self.underflow
+        if seen >= target and self.underflow:
+            return self.min
+        estimate = self.max
+        for e in sorted(self.buckets):
+            seen += self.buckets[e]
+            if seen >= target:
+                estimate = float(2.0 ** e)
+                break
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        return estimate
+
+    def bucket_bounds(self) -> List[Tuple[float, int]]:
+        """``(le, count)`` pairs in ascending bound order (underflow at
+        ``le=0.0``), cumulative-ready for OpenMetrics exposition."""
+        out: List[Tuple[float, int]] = []
+        if self.underflow:
+            out.append((0.0, self.underflow))
+        out.extend((float(2.0 ** e), self.buckets[e])
+                   for e in sorted(self.buckets))
+        return out
+
     def snapshot(self):
         return {"count": self.count, "total": self.total,
-                "min": self.min, "max": self.max, "mean": self.mean}
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+                "buckets": self.bucket_bounds()}
 
     def __repr__(self):
         return (f"Histogram({self.name}: n={self.count} "
@@ -97,19 +147,37 @@ class Histogram:
 
 
 class Series:
-    """An ordered (index, value) time series — sizes over strata."""
+    """An ordered (index, value) time series — sizes over strata.
 
-    __slots__ = ("name", "points")
+    With ``capacity`` set the series is a ring: it keeps the most recent
+    ``capacity`` points and counts the rest in ``dropped``, so long-lived
+    sessions (many queries, hundreds of strata) hold bounded memory.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "points", "capacity", "dropped")
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
         self.name = name
         self.points: List[Tuple[int, float]] = []
+        self.capacity = capacity
+        self.dropped = 0
 
     def append(self, index: int, value) -> None:
-        self.points.append((index, value))
+        points = self.points
+        cap = self.capacity
+        if cap is not None and len(points) >= cap:
+            # O(capacity) shift; fine at stratum/sample cadence with the
+            # small ring capacities telemetry uses.
+            excess = len(points) - cap + 1
+            del points[:excess]
+            self.dropped += excess
+        points.append((index, value))
 
     def values(self) -> List[float]:
         return [v for _, v in self.points]
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
 
     def snapshot(self):
         return list(self.points)
@@ -143,12 +211,35 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
-    def series(self, name: str) -> Series:
-        return self._get(name, Series)
+    def series(self, name: str, capacity: Optional[int] = None) -> Series:
+        """Get or create a series; ``capacity`` bounds it as a ring.
+
+        The capacity applies on creation only — asking for an existing
+        series returns it with whatever bound it was created with."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Series(name, capacity=capacity)
+        elif type(inst) is not Series:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not Series")
+        return inst
 
     def get(self, name: str):
         """Look up an instrument without creating it (None if absent)."""
         return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Drop every instrument — reuse one registry across queries."""
+        self._instruments.clear()
+
+    def remove(self, prefix: str) -> int:
+        """Drop every instrument whose name starts with ``prefix``;
+        returns how many were removed."""
+        doomed = [n for n in self._instruments if n.startswith(prefix)]
+        for n in doomed:
+            del self._instruments[n]
+        return len(doomed)
 
     def names(self, prefix: str = "") -> List[str]:
         return sorted(n for n in self._instruments if n.startswith(prefix))

@@ -189,6 +189,8 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
             lines.append(f"  {base}: {hits}/{misses}/{evictions} "
                          f"({rate:.1f}% hit rate)")
 
+    lines.extend(_telemetry_section(obs))
+
     sanitizer_names = obs.registry.names("sanitizer.")
     if sanitizer_names:
         checks = obs.registry.counter("sanitizer.checks").value
@@ -204,3 +206,46 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
         lines.append("static analysis (repro analyze)")
         lines.append(diagnostics.format())
     return "\n".join(lines)
+
+
+#: (registry series name, timeline label) pairs shown as sparklines.
+_SPARK_SERIES = (
+    ("telemetry.stratum.delta_count", "Δ-set"),
+    ("telemetry.stratum.seconds", "sim_s"),
+    ("telemetry.stratum.bytes_sent", "bytes"),
+    ("telemetry.net.inflight_peak", "inflight"),
+    ("telemetry.memo.hit_rate", "memo hit"),
+)
+
+_SPARK_WIDTH = 48
+
+
+def _telemetry_section(obs: ObsContext) -> List[str]:
+    """Per-stratum sparkline timeline from the live-telemetry series."""
+    from repro.obs.export import sparkline
+
+    picked = []
+    for name, label in _SPARK_SERIES:
+        series = obs.registry.get(name)
+        if series is not None and series.points:
+            picked.append((label, series))
+    if not picked:
+        return []
+    lines = ["", "live telemetry (per-stratum sparklines, oldest → newest)"]
+    width = max(len(label) for label, _ in picked)
+    for label, series in picked:
+        values = series.values()
+        spark = sparkline(values, width=_SPARK_WIDTH)
+        lo, hi = min(values), max(values)
+        suffix = f"  [{lo:.4g} .. {hi:.4g}]"
+        if series.dropped:
+            suffix += f" (+{series.dropped} dropped)"
+        lines.append(f"  {label.ljust(width)}  {spark}{suffix}")
+    sampler = getattr(obs, "telemetry", None)
+    if sampler is not None:
+        lines.append(f"  sampler: {sampler.samples} sample(s), "
+                     f"{sampler.ticks} clock tick(s) @ "
+                     f"{sampler.interval}s simulated"
+                     + (f", {sampler.ticks_dropped} tick(s) dropped"
+                        if sampler.ticks_dropped else ""))
+    return lines

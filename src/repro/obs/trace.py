@@ -109,8 +109,18 @@ class JsonlSink(TraceSink):
                                   default=str))
         self._fh.write("\n")
 
+    def flush(self) -> None:
+        if not getattr(self._fh, "closed", False):
+            self._fh.flush()
+
     def close(self) -> None:
-        if self._owns and not self._fh.closed:
+        """Flush buffered lines (idempotent) so error-path dumps — flight
+        bundles, ``--trace`` files on a crashed run — are never truncated;
+        borrowed file objects are flushed but left open."""
+        if getattr(self._fh, "closed", False):
+            return
+        self._fh.flush()
+        if self._owns:
             self._fh.close()
 
 
@@ -127,6 +137,7 @@ class Tracer:
                  clock=time.perf_counter):
         self.sinks: List[TraceSink] = list(sinks)
         self.enabled = enabled
+        self.closed = False
         self._clock = clock
         self._epoch = clock()
 
@@ -162,6 +173,12 @@ class Tracer:
         return []
 
     def close(self) -> None:
+        """Close every sink exactly once; later calls are no-ops and later
+        emits are dropped (the tracer is disabled on close)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.enabled = False
         for sink in self.sinks:
             sink.close()
 

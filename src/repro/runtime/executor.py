@@ -135,6 +135,20 @@ class ExecOptions:
     obs/sanitizer/perturbation hooks are attached: empty feedback and
     checkpoint-replication work is elided instead of walked.  Wall-clock
     knob only; simulated metrics are unchanged at any value."""
+    flight: bool = True
+    """Keep a :class:`repro.obs.flight.FlightRecorder` for this run (the
+    default).  The recorder appends one breadcrumb per stratum boundary
+    plus failure/recovery events — no per-tuple hooks — and assembles a
+    self-contained JSON post-mortem bundle when the run raises or a
+    sanitizer check trips.  It is not an instrumentation hook: the quiet
+    fast paths stay armed and simulated metrics are bit-identical with it
+    on or off."""
+    flight_dir: Optional[str] = None
+    """Directory flight bundles are written to on a trigger.  ``None``
+    falls back to the ``REX_FLIGHT_DIR`` environment variable; with
+    neither set the bundle is kept in memory only
+    (``QueryResult.flight.last_bundle`` / the exception's
+    ``rex_flight_bundle`` attribute)."""
 
 
 @dataclass
@@ -152,6 +166,10 @@ class QueryResult:
     """Plan diagnostics that were bypassed (``check=False`` / ``--force``):
     the full :class:`~repro.analysis.diagnostics.DiagnosticReport` the
     run would otherwise have refused on."""
+    flight: Optional[object] = None
+    """The run's :class:`repro.obs.flight.FlightRecorder` (when
+    ``ExecOptions.flight``, the default): the stratum breadcrumb ring,
+    plus ``last_bundle``/``last_path`` if a post-mortem dump triggered."""
 
 
 class _MetricsHooks(RuntimeHooks):
@@ -200,6 +218,7 @@ class QueryExecutor:
         self._fixpoint_key_fn = None
         self._plan: Optional[PhysicalPlan] = None
         self.sanitizer = None
+        self.flight = None
         #: Per-chain :class:`repro.optimizer.fusion.FusionDecision` records
         #: from the fusion pass (empty when ``fuse=False`` / no chains).
         self.fusion_decisions: List = []
@@ -386,29 +405,63 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalPlan) -> QueryResult:
         """Run the query to completion; returns rows and metrics."""
+        flight = None
+        if self.options.flight:
+            # Imported lazily like the other analysis hooks: the runtime
+            # package must not import repro.obs at module load.
+            from repro.obs.flight import FlightRecorder
+            flight = self.flight = FlightRecorder(
+                directory=self.options.flight_dir)
+            flight.note("query_start", recursive=plan.is_recursive,
+                        attempt=self._attempt)
         self.metrics.startup_seconds = self.cluster.cost.rex_query_startup
-        self._instantiate(plan)
-        restart = self._run_strata(plan)
-        if restart is not None:
-            return restart
-        self._final_flush()
-        rows = self.sink.rows() if self.options.collect_result else []
+        try:
+            self._instantiate(plan)
+            if flight is not None:
+                flight.attach(obs=self.options.obs,
+                              sanitizer=self.sanitizer)
+            restart = self._run_strata(plan)
+            if restart is not None:
+                return restart
+            self._final_flush()
+            rows = self.sink.rows() if self.options.collect_result else []
+        except Exception as exc:
+            if flight is not None:
+                flight.attach(obs=self.options.obs,
+                              sanitizer=self.sanitizer)
+                flight.record_exception(exc)
+                flight.dump("exception", error=exc)
+                try:
+                    exc.rex_flight_bundle = flight.last_bundle
+                    exc.rex_flight_path = flight.last_path
+                except AttributeError:  # slotted exception classes
+                    pass
+            raise
         self.metrics.result_rows = len(rows)
         obs = self.options.obs
         if self.sanitizer is not None and obs is not None:
             self.sanitizer.publish(obs.registry)
         if obs is not None:
             obs.publish()
+        if (flight is not None and self.sanitizer is not None
+                and self.sanitizer.violations):
+            flight.note("sanitizer_trip",
+                        violations=self.sanitizer.violations)
+            flight.dump("sanitizer", diagnostics=self.sanitizer.report)
         return QueryResult(rows=rows, metrics=self.metrics, obs=obs,
-                           sanitizer=self.sanitizer)
+                           sanitizer=self.sanitizer, flight=flight)
 
     def _run_strata(self, plan: PhysicalPlan) -> Optional[QueryResult]:
         opts = self.options
         obs = opts.obs
         sanitizer = self.sanitizer
         perturb = opts.perturb
+        flight = self.flight
         network = self.cluster.network
         recursive = plan.is_recursive
+        # Per-node stratum seconds feed the telemetry sampler's skew view;
+        # collected only when a sampler is actually attached.
+        want_node_seconds = obs is not None and obs.telemetry is not None
         # Hoisted out of the stratum loop: the live-plan list (recomputed
         # only after a failure changes membership), the failure schedule,
         # and the per-batch obs/checkpoint branch structure that used to
@@ -475,13 +528,19 @@ class QueryExecutor:
                 # The fabric is quiescent: verify exchange conservation.
                 sanitizer.end_stratum(stratum)
 
-            it.seconds = (self.cluster.end_stratum_wall_time()
+            node_seconds = {} if want_node_seconds else None
+            it.seconds = (self.cluster.end_stratum_wall_time(node_seconds)
                           + self.cluster.cost.rex_stratum_overhead)
             it.bytes_sent = network.total_bytes - bytes_before
             if obs is not None:
                 obs.end_stratum(stratum, it.seconds, it.bytes_sent,
                                 it.delta_count, it.mutable_size,
-                                it.tuples_processed)
+                                it.tuples_processed,
+                                node_seconds=node_seconds)
+            if flight is not None:
+                flight.on_stratum(stratum, it.seconds, it.bytes_sent,
+                                  it.delta_count, it.mutable_size,
+                                  it.tuples_processed)
 
             due = failures_by_stratum.get(stratum)
             if due:
@@ -643,6 +702,10 @@ class QueryExecutor:
                 receiver.set_expected_senders(n_live)
         self.sink.set_expected_workers(n_live)
         self.metrics.recovery_seconds += self.cluster.cost.failure_detection
+        if self.flight is not None:
+            self.flight.note("node_failure", node=victim,
+                             after_stratum=spec.after_stratum,
+                             recovery=self.options.recovery)
 
         if self.options.recovery == "restart":
             return self._restart(plan)
@@ -658,6 +721,8 @@ class QueryExecutor:
                 recover()
         else:
             recover()
+        if self.flight is not None:
+            self.flight.note("recovered", node=victim)
         return None
 
     def _plan_replays_exactly(self, plan: PhysicalPlan) -> bool:
@@ -708,6 +773,8 @@ class QueryExecutor:
             perturb=self.options.perturb,
             fuse=self.options.fuse,
             small_stratum_threshold=self.options.small_stratum_threshold,
+            flight=self.options.flight,
+            flight_dir=self.options.flight_dir,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)

@@ -1,0 +1,169 @@
+"""Perf-regression gate: baseline comparison semantics and the CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (DEFAULT_REL_TOLERANCE, DEFAULT_TOLERANCE,
+                                 baseline_wall, compare, load_baseline, main)
+
+
+def _payload(smoke, nodes, walls, simulated=None, strata=None):
+    """A minimal BENCH_5-shaped payload."""
+    workloads = {}
+    for name, wall in walls.items():
+        workloads[name] = {
+            "fused_wall_seconds": wall,
+            "simulated_seconds": (simulated or {}).get(name, 10.0),
+            "strata": (strata or {}).get(name, 20),
+        }
+    return {"benchmark": "wallclock-fusion", "smoke": smoke,
+            "nodes": nodes, "workloads": workloads}
+
+
+class TestCompareAbsolute:
+    """Same smoke/nodes config: hard simulated identity + absolute walls."""
+
+    def test_within_tolerance_passes(self):
+        base = _payload(False, 8, {"pagerank": 1.0, "sssp": 2.0})
+        cur = _payload(False, 8, {"pagerank": 1.2, "sssp": 2.1})
+        report = compare(cur, base)
+        assert report["config_match"] is True
+        assert report["mode"] == "absolute"
+        assert report["ok"] is True
+        assert report["workloads"]["pagerank"]["verdict"] == "ok"
+        assert report["workloads"]["pagerank"]["limit_seconds"] == 1.25
+
+    def test_beyond_tolerance_fails(self):
+        base = _payload(False, 8, {"pagerank": 1.0})
+        cur = _payload(False, 8, {"pagerank": 1.3})
+        report = compare(cur, base)
+        assert report["ok"] is False
+        assert report["workloads"]["pagerank"]["verdict"] == "slower"
+        assert "pagerank" in report["failures"][0]
+
+    def test_custom_tolerance(self):
+        base = _payload(False, 8, {"pagerank": 1.0})
+        cur = _payload(False, 8, {"pagerank": 1.3})
+        assert compare(cur, base, tolerance=0.5)["ok"] is True
+
+    def test_simulated_divergence_is_hard_failure(self):
+        base = _payload(False, 8, {"pagerank": 1.0},
+                        simulated={"pagerank": 10.0})
+        # Faster wall, but the deterministic cost model moved: fail.
+        cur = _payload(False, 8, {"pagerank": 0.5},
+                       simulated={"pagerank": 11.0})
+        report = compare(cur, base)
+        assert report["ok"] is False
+        assert (report["workloads"]["pagerank"]["verdict"]
+                == "simulated-diverged")
+        assert "simulated_seconds" in report["failures"][0]
+
+    def test_strata_divergence_is_hard_failure(self):
+        base = _payload(False, 8, {"pagerank": 1.0}, strata={"pagerank": 20})
+        cur = _payload(False, 8, {"pagerank": 1.0}, strata={"pagerank": 21})
+        report = compare(cur, base)
+        assert report["ok"] is False
+        assert "strata" in report["failures"][0]
+
+    def test_missing_baseline_workload_is_skipped(self):
+        base = _payload(False, 8, {"pagerank": 1.0})
+        cur = _payload(False, 8, {"pagerank": 1.0, "kmeans": 5.0})
+        report = compare(cur, base)
+        assert report["ok"] is True
+        assert report["skipped"] == ["kmeans"]
+        assert report["workloads"]["kmeans"]["verdict"] == "no-baseline"
+
+    def test_bench1_batch_wall_is_accepted(self):
+        assert baseline_wall({"batch_wall_seconds": 3.0}) == 3.0
+        assert baseline_wall({"fused_wall_seconds": 1.0,
+                              "batch_wall_seconds": 3.0}) == 1.0
+        assert baseline_wall({}) is None
+
+
+class TestCompareNormalized:
+    """Config mismatch (CI smoke vs full baseline): geomean-normalized."""
+
+    def test_uniform_slowdown_passes(self):
+        base = _payload(False, 8, {"pagerank": 10.0, "sssp": 20.0,
+                                   "kmeans": 30.0})
+        # Smoke run on a slower machine: everything is 100x faster but
+        # uniformly so — no workload regressed relative to the others.
+        cur = _payload(True, 8, {"pagerank": 0.1, "sssp": 0.2,
+                                 "kmeans": 0.3})
+        report = compare(cur, base)
+        assert report["config_match"] is False
+        assert report["mode"] == "normalized"
+        assert report["ok"] is True
+        assert report["geomean_ratio"] == pytest.approx(0.01)
+        for row in report["workloads"].values():
+            assert row["normalized_ratio"] == pytest.approx(1.0)
+
+    def test_single_workload_outlier_fails(self):
+        base = _payload(False, 8, {"pagerank": 10.0, "sssp": 10.0,
+                                   "kmeans": 10.0})
+        cur = _payload(True, 8, {"pagerank": 1.0, "sssp": 1.0,
+                                 "kmeans": 4.0})
+        report = compare(cur, base)
+        assert report["ok"] is False
+        assert report["workloads"]["kmeans"]["verdict"] == "slower"
+        assert report["workloads"]["pagerank"]["verdict"] == "ok"
+
+    def test_no_simulated_identity_check_across_configs(self):
+        # Smoke datasets legitimately produce different simulated metrics.
+        base = _payload(False, 8, {"pagerank": 10.0},
+                        simulated={"pagerank": 99.0})
+        cur = _payload(True, 4, {"pagerank": 0.1},
+                       simulated={"pagerank": 1.0})
+        assert compare(cur, base)["ok"] is True
+
+    def test_nodes_mismatch_alone_forces_normalized(self):
+        base = _payload(False, 8, {"pagerank": 1.0})
+        cur = _payload(False, 4, {"pagerank": 1.0})
+        assert compare(cur, base)["mode"] == "normalized"
+
+
+class TestLoadBaseline:
+    def test_rejects_non_benchmark_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}\n')
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_loads_payload(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(_payload(False, 8, {"pagerank": 1.0})))
+        assert "pagerank" in load_baseline(str(path))["workloads"]
+
+
+class TestMain:
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        rc = main(["--baseline", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_end_to_end_self_baseline_passes(self, tmp_path, capsys,
+                                             monkeypatch):
+        # Record a smoke baseline, then gate a fresh identical-config run
+        # against it: simulated metrics must match exactly and walls must
+        # be within tolerance of themselves.
+        from repro.bench.wallclock import run_fusion_benchmark
+
+        payload = run_fusion_benchmark(smoke=True, nodes=4)
+        baseline = tmp_path / "BENCH_SELF.json"
+        baseline.write_text(json.dumps(payload))
+        report_path = tmp_path / "report.json"
+        rc = main(["--baseline", str(baseline), "--smoke", "--nodes", "4",
+                   "--tolerance", "5.0", "--out", str(report_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS (absolute gate" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["config_match"] is True
+        for row in report["workloads"].values():
+            assert row["verdict"] == "ok"
+
+    def test_defaults(self):
+        assert DEFAULT_TOLERANCE == 0.25
+        assert DEFAULT_REL_TOLERANCE == 0.50
