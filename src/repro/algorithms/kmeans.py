@@ -56,6 +56,7 @@ class KMAgg(JoinDeltaHandler):
     name = "KMAgg"
     in_types = ("Integer", "Double", "Double")
     out_types = ("cid:Integer", "xDiff:Double", "yDiff:Double")
+    emits_polarity = frozenset({DeltaOp.UPDATE})  # δ(dx, dy, dn) adjustments
 
     def __init__(self):
         super().__init__()

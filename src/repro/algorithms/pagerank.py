@@ -57,6 +57,7 @@ class PRAgg(JoinDeltaHandler):
     name = "PRAgg"
     in_types = ("Integer", "Double")
     out_types = ("nbr:Integer", "prdiff:Double")
+    emits_polarity = frozenset({DeltaOp.UPDATE})  # δ(diff) adjustments only
 
     def __init__(self, tol: float = 0.01):
         super().__init__()
@@ -125,6 +126,7 @@ class PRFixpointHandler(WhileDeltaHandler):
     """
 
     name = "PRFixpointHandler"
+    emits_polarity = frozenset({DeltaOp.INSERT, DeltaOp.REPLACE})
 
     def __init__(self, tol: float = 0.01):
         super().__init__()

@@ -53,6 +53,7 @@ class SPAgg(JoinDeltaHandler):
     in_types = ("Integer", "Double")
     out_types = ("nbr:Integer", "parent:Integer", "distOut:Double")
     replay_idempotent = True  # keeps only the min distance; replay is a no-op
+    emits_polarity = frozenset({DeltaOp.INSERT})  # offers are pure insertions
 
     def update(self, left_bucket, right_bucket, delta, side):
         v, parent, dist = delta.row
@@ -75,6 +76,7 @@ class MonotoneMinDist(WhileDeltaHandler):
 
     name = "MonotoneMinDist"
     replay_idempotent = True  # admits strict improvements only
+    emits_polarity = frozenset({DeltaOp.INSERT})  # strict improvements only
 
     def update(self, while_relation, delta):
         key = (delta.row[0],)

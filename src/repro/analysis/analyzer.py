@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from repro.analysis.absint import check_polarity
 from repro.analysis.diagnostics import DiagnosticReport, Severity
 from repro.analysis.physical import PHYSICAL_PASSES
 from repro.analysis.rules import LOGICAL_PASSES, check_partitioning
@@ -31,6 +32,7 @@ def analyze_logical(root: LNode, *,
         rule(root, report.add)
     missing = Severity.ERROR if exchanges_placed else Severity.INFO
     check_partitioning(root, report.add, missing_severity=missing)
+    check_polarity(root, report.add)
     return report
 
 
@@ -40,6 +42,7 @@ def analyze_physical(plan: Union[PhysicalPlan, PNode]) -> DiagnosticReport:
     report = DiagnosticReport()
     for rule in PHYSICAL_PASSES:
         rule(root, report.add)
+    check_polarity(root, report.add)
     return report
 
 

@@ -37,7 +37,9 @@ class Severity(enum.Enum):
 
 #: The published catalog: code -> (default severity, one-line title).
 #: ``REX0xx`` are plan-analyzer codes, ``REX1xx`` are lint codes,
-#: ``REX2xx`` are runtime sanitizer / determinism-checker codes.
+#: ``REX2xx`` are runtime sanitizer / determinism-checker codes,
+#: ``REX3xx`` are abstract-interpretation (delta-polarity /
+#: monotonicity) codes.
 CODES: Dict[str, Tuple[Severity, str]] = {
     "REX001": (Severity.ERROR,
                "non-stratified recursion (nested fixpoint or negation "
@@ -99,6 +101,32 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "REX206": (Severity.WARNING,
                "metrics-only race: simulated-metrics fingerprint changes "
                "under schedule perturbation while rows stay identical"),
+    "REX300": (Severity.INFO,
+               "stateful operator input proven insert-only "
+               "(retraction/replacement bookkeeping is skippable)"),
+    "REX301": (Severity.INFO,
+               "fixpoint body proven monotone (the recursive relation "
+               "never shrinks and never retracts)"),
+    "REX302": (Severity.WARNING,
+               "fixpoint body may retract or shrink (non-monotone "
+               "recursion; convergence depends on runtime values)"),
+    "REX303": (Severity.WARNING,
+               "key-destroying Project/ApplyFunction inside a recursive "
+               "branch (functional dependency on the fixpoint key is "
+               "lost)"),
+    "REX304": (Severity.INFO,
+               "dead delta polarity (a downstream operator can never "
+               "observe these delta kinds; their handling is removable)"),
+    "REX305": (Severity.WARNING,
+               "replacement/update stream without a preceding insert "
+               "polarity (an update may arrive before its base row)"),
+    "REX306": (Severity.INFO,
+               "polarity unknown: a handler or aggregator declares no "
+               "emission polarity, so the verdict widens to 'any'"),
+    "REX307": (Severity.ERROR,
+               "runtime delta violated a static polarity/monotonicity "
+               "proof (abstract interpretation was unsound for this "
+               "plan — report this)"),
 }
 
 
@@ -153,15 +181,27 @@ def make(code: str, message: str, location: str = "", hint: str = "",
 
 @dataclass
 class DiagnosticReport:
-    """An ordered list of findings with the common queries over it."""
+    """An ordered list of findings with the common queries over it.
+
+    Identical ``(code, location, message)`` triples are collapsed: the
+    logical and physical passes often fire the same finding on the same
+    node when both run over one plan, and one copy carries all the
+    information.  First occurrence wins (its severity and hint are
+    kept).
+    """
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def add(self, diag: Diagnostic) -> None:
+        key = (diag.code, diag.location, diag.message)
+        for existing in self.diagnostics:
+            if (existing.code, existing.location, existing.message) == key:
+                return
         self.diagnostics.append(diag)
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
-        self.diagnostics.extend(diags)
+        for diag in diags:
+            self.add(diag)
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
@@ -214,3 +254,71 @@ class DiagnosticReport:
                 "warnings": len(self.warnings),
             },
         }, indent=indent)
+
+
+#: SARIF severity levels for each :class:`Severity` tier.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def to_sarif(report: DiagnosticReport, *, tool_name: str = "repro-analyze",
+             indent: Optional[int] = 2) -> str:
+    """Serialize a report as a SARIF 2.1.0 log (one run).
+
+    Plan-node locations have no file, so they are carried as logical
+    locations (``fullyQualifiedName`` = the plan-node path); lint
+    locations of the form ``file:line`` become physical locations.  The
+    rule catalog lists every code that fired, with its published title.
+    """
+    rules: Dict[str, Dict] = {}
+    results: List[Dict] = []
+    for diag in report.sorted():
+        rules.setdefault(diag.code, {
+            "id": diag.code,
+            "shortDescription": {"text": diag.title},
+        })
+        result: Dict = {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+        }
+        if diag.hint:
+            result["properties"] = {"hint": diag.hint}
+        if diag.location:
+            head, sep, tail = diag.location.rpartition(":")
+            if sep and tail.isdigit():
+                result["locations"] = [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": head},
+                        "region": {"startLine": int(tail)},
+                    },
+                }]
+            else:
+                result["locations"] = [{
+                    "logicalLocations": [{
+                        "fullyQualifiedName": diag.location,
+                        "kind": "member",
+                    }],
+                }]
+        results.append(result)
+    log = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri":
+                        "https://example.invalid/repro/docs/analysis.md",
+                    "rules": sorted(rules.values(),
+                                    key=lambda r: r["id"]),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=indent)

@@ -28,6 +28,20 @@ Findings are :class:`repro.analysis.diagnostics.Diagnostic` objects
 (REX200-REX204) collected into the report attached to ``QueryResult``.
 The schedule-perturbation race detector (REX205/REX206) lives in
 :mod:`repro.analysis.determinism`.
+
+The delta-polarity abstract interpretation (:mod:`repro.analysis.absint`)
+changes the sanitizer's economics: operators carrying static proofs
+(``proof_polarity`` / ``proof_monotone`` / ``proof_insert_only_ports``)
+are *downgraded* from the heavy invariant machinery — shadow replay for
+group-by, the per-delta legality pass for fixpoints — to assertion mode:
+one kind-set probe per batch checking that the deltas actually flowing
+match what was proven.  A contradiction is a hard :data:`REX307` error
+("runtime delta violated a static proof"), strictly worse than any
+REX200-series warning, because it means either an operator emitted an
+undeclared delta kind or a UDF's ``emits_polarity`` declaration lies.
+Observed per-port kind sets are kept for every instrumented stateful
+operator (proof or not) and exposed via :meth:`Sanitizer.observed_polarities`
+so tests can check static verdicts against full runtime observation.
 """
 
 from __future__ import annotations
@@ -101,7 +115,7 @@ class _OpShadow:
     """Sanitizer-side state for one instrumented stateful operator."""
 
     __slots__ = ("node_id", "batches", "groups", "dirty", "punct_last",
-                 "punct_final", "row_memo", "batch_counter")
+                 "punct_final", "row_memo", "batch_counter", "observed")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
@@ -115,6 +129,7 @@ class _OpShadow:
         # key_fn + hash work folds into one dict probe on repeats.
         self.row_memo: Dict[tuple, tuple] = {}
         self.batch_counter = 0              # sample-level batch striding
+        self.observed: Dict[int, set] = {}  # port -> delta kinds seen
 
 
 class _NetworkTee:
@@ -248,12 +263,21 @@ class Sanitizer:
         from repro.operators.join import HashJoin
 
         if isinstance(op, GroupBy):
-            if self._node_sampled(ctx.node_id):
+            covered = self._wrap_polarity(op, shadow, ctx.batch)
+            if not covered and self._node_sampled(ctx.node_id):
                 self._wrap_groupby(op, shadow, ctx.batch)
         elif isinstance(op, Fixpoint):
-            self._wrap_fixpoint(op, shadow, ctx.batch)
+            covered = (self._wrap_polarity(op, shadow, ctx.batch)
+                       and getattr(op, "proof_monotone", False))
+            if not covered:
+                self._wrap_fixpoint(op, shadow, ctx.batch)
         elif isinstance(op, HashJoin):
-            self._wrap_join(op, shadow, ctx.batch)
+            self._wrap_polarity(op, shadow, ctx.batch)
+            ports = getattr(op, "proof_insert_only_ports", None) or ()
+            covered = all(p in ports for p in (0, 1)
+                          if not op._uses_handler(p))
+            if not covered:
+                self._wrap_join(op, shadow, ctx.batch)
         elif isinstance(op, RehashSender):
             self._senders.append(op)
             self._wrap_sender(op, shadow)
@@ -269,6 +293,90 @@ class Sanitizer:
             shadow.batches.clear()
             shadow.groups = {}
             shadow.dirty = {}
+
+    # -- static-proof assertions (REX307) -------------------------------
+    def _wrap_polarity(self, op, shadow: _OpShadow, batch: bool) -> bool:
+        """Observe each arriving delta kind per input port and assert it
+        against the static polarity proof.
+
+        Installed on every instrumented stateful operator (proof or not)
+        so :meth:`observed_polarities` always reflects what actually
+        flowed.  The per-batch cost is one kind-set scan plus a set
+        difference — once a port's kinds have all been seen, the probe
+        short-circuits.  A delta kind outside the proven set is a hard
+        REX307 error.
+
+        Returns True when the operator carries an exact polarity proof
+        (``proof_polarity``), i.e. the caller may downgrade the heavy
+        invariant machinery to this assertion mode — the proof-directed
+        payoff item (2).
+        """
+        allowed = getattr(op, "proof_polarity", None)
+        insert_ports = getattr(op, "proof_insert_only_ports", None) or ()
+        observed = shadow.observed
+        loc = f"{op.name}@n{shadow.node_id}"
+        insert_only = frozenset((DeltaOp.INSERT,))
+
+        def check(deltas, port):
+            kinds = {d.op for d in deltas}
+            seen = observed.get(port)
+            if seen is None:
+                seen = observed[port] = set()
+            fresh = kinds - seen
+            if not fresh:
+                return
+            seen |= fresh
+            self.checks += 1
+            limit = insert_only if port in insert_ports else allowed
+            if limit is None:
+                return
+            bad = fresh - limit
+            if bad:
+                syms = ",".join(sorted(k.value for k in bad))
+                proven = ",".join(sorted(k.value for k in limit))
+                self._emit(
+                    "REX307",
+                    f"runtime delta kind(s) {{{syms}}} on port {port} "
+                    f"contradict the static polarity proof {{{proven}}}",
+                    location=loc,
+                    hint="either an operator emitted an undeclared delta "
+                         "kind or a UDF's emits_polarity declaration is "
+                         "wrong; rerun with ExecOptions(absint=False) and "
+                         "sanitize='full' to localize the source")
+
+        if batch:
+            orig_push = op.push_batch
+
+            def push_batch(deltas, port: int = 0):
+                if deltas:
+                    check(deltas, port)
+                return orig_push(deltas, port)
+
+            op.push_batch = push_batch
+        else:
+            orig_process = op.process
+
+            def process(d, port: int):
+                check((d,), port)
+                return orig_process(d, port)
+
+            op.process = process
+        return allowed is not None
+
+    def observed_polarities(self) -> Dict[str, Dict[int, frozenset]]:
+        """Runtime-observed delta kinds per stateful operator and input
+        port (instances with the same name on the same node are unioned).
+        This is the hook the property suite uses to check that static
+        polarity verdicts are never contradicted by real executions."""
+        out: Dict[str, Dict[int, frozenset]] = {}
+        for op_id, shadow in self._shadows.items():
+            if not shadow.observed:
+                continue
+            op = self._ops[op_id]
+            entry = out.setdefault(f"{op.name}@n{shadow.node_id}", {})
+            for port, kinds in shadow.observed.items():
+                entry[port] = entry.get(port, frozenset()) | frozenset(kinds)
+        return out
 
     # -- punctuation monotonicity (REX202) ------------------------------
     def _wrap_punctuation(self, op, shadow: _OpShadow) -> None:

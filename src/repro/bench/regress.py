@@ -64,8 +64,9 @@ def load_baseline(path: str) -> Dict:
 
 def baseline_wall(entry: Dict) -> Optional[float]:
     """The comparable wall-clock number from a baseline workload entry:
-    fused (BENCH_5) or plain batch (BENCH_1) seconds."""
-    for key in ("fused_wall_seconds", "batch_wall_seconds"):
+    absint (BENCH_8), fused (BENCH_5), or plain batch (BENCH_1) seconds."""
+    for key in ("absint_wall_seconds", "fused_wall_seconds",
+                "batch_wall_seconds"):
         if entry.get(key):
             return float(entry[key])
     return None

@@ -164,7 +164,7 @@ def build_analyze_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-optimize", action="store_true",
                         help="analyze the raw compiler output (exchanges "
                              "are added as the lowering would)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     return parser
 
@@ -175,7 +175,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
         description="Run the simulator-invariant linter (REX1xx codes).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     return parser
 
@@ -416,6 +416,8 @@ def _read_query(query: str) -> str:
 
 
 def main_analyze(argv: List[str]) -> int:
+    from repro.analysis.absint import properties_report
+    from repro.analysis.diagnostics import to_sarif
     from repro.optimizer.exchanges import add_exchanges
     from repro.optimizer.fusion import fusion_report
     from repro.optimizer.physical import lower
@@ -428,22 +430,41 @@ def main_analyze(argv: List[str]) -> int:
     query = _read_query(args.query)
     try:
         report = session.analyze(query)
-        # The fusion pass runs on the lowered physical plan; surface its
-        # per-chain decisions alongside the diagnostics so the report
-        # shows what the executor will actually collapse.
+        # The fusion and abstract-interpretation passes run on the lowered
+        # physical plan; surface their per-chain / per-node verdicts
+        # alongside the diagnostics so the report shows what the executor
+        # will actually collapse and fast-path.
         node = session.logical_plan(query)
         if not session.optimize:
             node = add_exchanges(node)
-        fusion = fusion_report(lower(node).root)
+        physical_root = lower(node).root
+        fusion = fusion_report(physical_root)
+        properties = properties_report(physical_root)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         payload = json.loads(report.to_json())
         payload["fusion"] = fusion
+        payload["properties"] = properties
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(to_sarif(report, tool_name="repro-analyze"))
     else:
         print(report.format())
+        if properties:
+            print()
+            print("inferred properties (physical plan)")
+            for p in properties:
+                notes = [f"Δ={p['polarity']}" + ("" if p["exact"] else "?")]
+                if "monotone" in p:
+                    notes.append("monotone" if p["monotone"]
+                                 else "non-monotone")
+                if "key_preserving" in p and not p["key_preserving"]:
+                    notes.append("key-destroying")
+                if "dead_kinds" in p:
+                    notes.append("dead={" + ",".join(p["dead_kinds"]) + "}")
+                print(f"  {p['path']}: " + " ".join(notes))
         if fusion:
             print()
             print("fusion decisions (physical plan)")
@@ -454,12 +475,15 @@ def main_analyze(argv: List[str]) -> int:
 
 
 def main_lint(argv: List[str]) -> int:
+    from repro.analysis.diagnostics import to_sarif
     from repro.analysis.lint import lint_paths
 
     args = build_lint_parser().parse_args(argv)
     report = lint_paths(args.paths or ["src"])
     if args.format == "json":
         print(report.to_json(indent=2))
+    elif args.format == "sarif":
+        print(to_sarif(report, tool_name="repro-lint"))
     else:
         print(report.format())
     return 1 if report else 0
@@ -543,13 +567,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.trace_chrome, "w") as fh:
                 json.dump(chrome_trace(obs.tracer.events()), fh)
         if args.analyze:
+            from repro.analysis.absint import properties_report
             try:
                 diagnostics = session.analyze(query)
+                properties = properties_report(
+                    session.logical_plan(query))
             except ReproError:
                 diagnostics = None
+                properties = None
             print(file=sys.stderr)
             print(explain_analyze(obs, result.metrics,
-                                  diagnostics=diagnostics), file=sys.stderr)
+                                  diagnostics=diagnostics,
+                                  properties=properties), file=sys.stderr)
     sanitizer = result.sanitizer
     if sanitizer is not None:
         print(f"-- sanitizer ({sanitizer.level}): {sanitizer.checks} "

@@ -83,13 +83,17 @@ def _fmt_seconds(s: float) -> str:
 
 def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
                     top: Optional[int] = None,
-                    diagnostics=None) -> str:
+                    diagnostics=None, properties=None) -> str:
     """Render the post-run report as a plain-text table pair.
 
     ``diagnostics`` is an optional
     :class:`~repro.analysis.diagnostics.DiagnosticReport` from the static
     analyzer; when given (and non-empty) its findings are appended so the
     cost table and the plan's static findings read as one report.
+    ``properties`` is an optional inferred-properties listing from the
+    abstract interpretation (``repro.analysis.absint.properties_report``):
+    per-node delta polarity, monotonicity, and dead-delta facts, rendered
+    as their own column block after the cost table.
     """
     rows = _aggregate(obs.operator_stats(), per_node)
     attributed, unattributed = obs.attribution()
@@ -200,6 +204,30 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
         lines.append(f"runtime sanitizer: {checks} checks, "
                      f"{violations} violation(s), "
                      f"{overhead:.4f}s host overhead (not simulated)")
+
+    if properties:
+        lines.append("")
+        lines.append("inferred properties (abstract interpretation)")
+        pheaders = ["operator", "Δ polarity", "notes"]
+        prows: List[List[str]] = []
+        for p in properties:
+            notes = []
+            if "monotone" in p:
+                notes.append("monotone" if p["monotone"] else "non-monotone")
+            if "key_preserving" in p:
+                notes.append("key-preserving" if p["key_preserving"]
+                             else "key-destroying")
+            if "dead_kinds" in p:
+                notes.append("dead={" + ",".join(p["dead_kinds"]) + "}")
+            polarity = p["polarity"] + ("" if p["exact"] else "?")
+            prows.append([p["path"], polarity, " ".join(notes)])
+        pwidths = [max(len(h), *(len(r[i]) for r in prows)) if prows
+                   else len(h) for i, h in enumerate(pheaders)]
+        lines.append("  ".join(h.ljust(w)
+                               for h, w in zip(pheaders, pwidths)))
+        for r in prows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(r, pwidths)).rstrip())
 
     if diagnostics is not None and len(diagnostics):
         lines.append("")

@@ -3,6 +3,10 @@
 ``explain`` over the compiled PageRank query reproduces the structure of
 the paper's Figure 1 (base case feeding a fixpoint whose recursive side
 joins the fixpoint receiver with the graph, aggregates, and loops).
+
+``properties=True`` appends each node's inferred-properties column from
+the abstract interpretation (delta polarity, monotonicity, key
+preservation — see ``docs/analysis.md``), e.g. ``[Δ=insert-only]``.
 """
 
 from __future__ import annotations
@@ -13,20 +17,32 @@ from repro.optimizer.cost import CostEstimator
 from repro.optimizer.logical import LNode
 
 
-def explain(node: LNode, estimator: Optional[CostEstimator] = None) -> str:
-    """Multi-line tree rendering, optionally annotated with estimates."""
+def explain(node: LNode, estimator: Optional[CostEstimator] = None,
+            properties: bool = True) -> str:
+    """Multi-line tree rendering, optionally annotated with estimates
+    and inferred delta-polarity properties."""
+    props = None
+    if properties:
+        from repro.analysis.absint import infer
+
+        props, _ = infer(node)
     lines: List[str] = []
-    _render(node, lines, prefix="", is_last=True, estimator=estimator)
+    _render(node, lines, prefix="", is_last=True, estimator=estimator,
+            props=props)
     return "\n".join(lines)
 
 
 def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
-            estimator: Optional[CostEstimator]) -> None:
+            estimator: Optional[CostEstimator], props=None) -> None:
     connector = "" if not lines else ("└─ " if is_last else "├─ ")
     annotation = ""
     if estimator is not None:
         est = estimator.estimate(node)
         annotation = f"  [rows≈{est.rows:.0f}]"
+    if props is not None:
+        inferred = props.annotation(node)
+        if inferred:
+            annotation += f"  [{inferred}]"
     schema_cols = ", ".join(f.name for f in node.schema)
     lines.append(f"{prefix}{connector}{node.label()} "
                  f"({schema_cols}){annotation}")
@@ -34,4 +50,4 @@ def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
                              else ("   " if is_last else "│  "))
     for i, child in enumerate(node.children):
         _render(child, lines, child_prefix, i == len(node.children) - 1,
-                estimator)
+                estimator, props)

@@ -149,6 +149,19 @@ class ExecOptions:
     neither set the bundle is kept in memory only
     (``QueryResult.flight.last_bundle`` / the exception's
     ``rex_flight_bundle`` attribute)."""
+    absint: bool = True
+    """Proof-directed fast paths from the delta-polarity abstract
+    interpretation (:mod:`repro.analysis.absint`, REX3xx): run the
+    inference over the (fused) physical plan at instantiation and arm
+    the operator specializations its proofs license — insert-only /
+    update-only group-by folding, the no-retraction keyed-fixpoint loop,
+    insert-only join build ports, and replacement-free stateless chains.
+    Every fast path preserves outputs and simulated charge multisets
+    exactly, so :meth:`QueryMetrics.fingerprint` is bit-identical on or
+    off (enforced by tests and the wallclock harness); only wall clock
+    changes.  The sanitizer additionally downgrades shadow replay to
+    cheap polarity assertions on proven operators — a violated proof is
+    escalated to a hard REX307 error."""
 
 
 @dataclass
@@ -264,6 +277,14 @@ class QueryExecutor:
             from repro.optimizer.fusion import fuse_plan
             exec_root, self.fusion_decisions = fuse_plan(plan.root)
         self._exec_root = exec_root
+        # Abstract interpretation over the tree the executor builds from:
+        # its per-node proofs (insert-only inputs, no-retraction loops,
+        # replacement-free chains) are pushed onto the operator instances
+        # in _make_operator and arm the charge-identical fast paths.
+        self._absint_props = None
+        if self.options.absint:
+            from repro.analysis.absint import infer
+            self._absint_props, _ = infer(exec_root)
         self._assign_exchanges(exec_root)
         live = self._live_ids()
         if plan.fixpoint is not None:
@@ -346,6 +367,60 @@ class QueryExecutor:
             self._build(child, op, ctx, wp, n_live, in_recursive)
 
     def _make_operator(self, node: PNode, ctx: ExecContext, wp: _WorkerPlan):
+        op = self._create_operator(node, ctx, wp)
+        if self._absint_props is not None:
+            self._apply_proofs(node, op)
+        return op
+
+    def _apply_proofs(self, node: PNode, op) -> None:
+        """Arm the fast paths licensed by the abstract interpretation.
+
+        Each attribute set here is a *proof*: the static analysis
+        guarantees the corresponding delta kinds can never reach this
+        operator, so skipping their handling preserves outputs and
+        simulated charge multisets exactly.  The sanitizer asserts the
+        proofs at runtime (a contradiction is a hard REX307)."""
+        props = self._absint_props.of(node)
+        if props is None:
+            return
+        in_pol = props.in_polarity
+        proven = (in_pol is not None and in_pol.exact and in_pol.kinds)
+        if isinstance(op, (Filter, Project, ApplyFunction)):
+            if proven and DeltaOp.REPLACE not in in_pol.kinds:
+                op.proof_no_replace = True
+        elif isinstance(op, GroupBy):
+            if proven:
+                op.proof_polarity = in_pol.kinds
+                if in_pol.kinds <= {DeltaOp.INSERT}:
+                    op.proof_insert_only = True
+                elif in_pol.kinds <= {DeltaOp.UPDATE}:
+                    op.proof_update_only = True
+        elif isinstance(op, HashJoin):
+            if proven:
+                op.proof_polarity = in_pol.kinds
+            ports = props.port_polarities or ()
+            insert_only_ports = frozenset(
+                port for port, p in enumerate(ports)
+                if not op._uses_handler(port)
+                and p.exact and p.kinds and p.kinds <= {DeltaOp.INSERT})
+            if insert_only_ports:
+                op.proof_insert_only_ports = insert_only_ports
+        elif isinstance(op, Fixpoint):
+            if proven:
+                op.proof_polarity = in_pol.kinds
+                if (op.semantics == "keyed" and op.while_handler is None
+                        and in_pol.kinds <= {DeltaOp.INSERT,
+                                             DeltaOp.REPLACE}):
+                    op.proof_no_delete = True
+            if props.monotone:
+                op.proof_monotone = True
+        elif isinstance(op, FusedKernel):
+            # Constituents got their own proofs when _make_operator built
+            # them; nothing to arm on the kernel shell itself.
+            pass
+
+    def _create_operator(self, node: PNode, ctx: ExecContext,
+                         wp: _WorkerPlan):
         if isinstance(node, PCollect):
             return Collect(exchange=self._collect_exchange)
         if isinstance(node, PScan):
@@ -775,6 +850,7 @@ class QueryExecutor:
             small_stratum_threshold=self.options.small_stratum_threshold,
             flight=self.options.flight,
             flight_dir=self.options.flight_dir,
+            absint=self.options.absint,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)

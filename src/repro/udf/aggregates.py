@@ -60,6 +60,15 @@ class Aggregator:
     full rows through surviving operator state during incremental recovery;
     anything else (sums, averages) would double-count, so the executor
     rebuilds downstream state from checkpoints instead."""
+    emits_polarity: Optional[frozenset] = None
+    """Abstract-interpretation metadata (REX3xx): the set of
+    :class:`~repro.common.deltas.DeltaOp` kinds this aggregator can emit
+    when it returns :class:`Delta` objects directly from
+    ``agg_state``/``agg_result``.  ``None`` (the default) means
+    undeclared — the analyzer widens the verdict to "any" and reports
+    REX306.  Aggregators that only return plain values need not declare
+    anything: the group-by operator turns values into insert/replace
+    deltas, and the analyzer knows that."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -132,6 +141,10 @@ class JoinDeltaHandler:
     out_types: Sequence[str] = ()
     replay_idempotent: bool = False
     """See :attr:`Aggregator.replay_idempotent`."""
+    emits_polarity: Optional[frozenset] = None
+    """The :class:`~repro.common.deltas.DeltaOp` kinds :meth:`update` can
+    emit, or ``None`` when undeclared (analyzer widens to "any" and
+    reports REX306).  See :attr:`Aggregator.emits_polarity`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -154,6 +167,11 @@ class WhileDeltaHandler:
     name: Optional[str] = None
     replay_idempotent: bool = False
     """See :attr:`Aggregator.replay_idempotent`."""
+    emits_polarity: Optional[frozenset] = None
+    """The :class:`~repro.common.deltas.DeltaOp` kinds :meth:`update` can
+    admit into the next stratum, or ``None`` when undeclared (analyzer
+    widens to "any" and reports REX306).  See
+    :attr:`Aggregator.emits_polarity`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, List, Union
 
+from repro.common.deltas import DeltaOp
 from repro.common.schema import Field as F
 from repro.common.schema import Schema, SQLType
 from repro.operators.expressions import (
@@ -34,15 +35,19 @@ from repro.optimizer.logical import (
     LScan,
 )
 from repro.runtime.plan import (
+    PApply,
     PCollect,
     PFeedback,
     PFixpoint,
+    PGroupBy,
     PJoin,
     PNode,
+    PProject,
     PRehash,
     PScan,
     PUnion,
 )
+from repro.udf import AggregateSpec
 from repro.udf.builtins import CollectList, Count, Sum
 
 
@@ -304,6 +309,165 @@ def phys_starved_handler() -> PNode:
     recursive = PUnion(children=(handler_join, PFeedback()))
     return PCollect(children=(
         PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+# ---------------------------------------------------------------------------
+# Delta-polarity & monotonicity plans (REX30x): each case anchors one
+# verdict of the abstract interpretation.  These are mostly *well-formed*
+# plans — REX300/301/304 are INFO proofs, not defects — so they live in
+# their own list rather than BAD_CASES.
+# ---------------------------------------------------------------------------
+
+class _DeltaAwareUDF:
+    """A delta-aware applyFunction UDF with a declared emission polarity."""
+
+    table_valued = False
+
+    def __call__(self, delta):
+        return ()
+
+
+class _RetractingRelax(_DeltaAwareUDF):
+    """An SSSP-style relaxation that may withdraw offers (emits '-')."""
+
+    name = "relax_retract"
+    emits_polarity = frozenset({DeltaOp.INSERT, DeltaOp.DELETE})
+
+
+class _ReplaceOnlyUpdate(_DeltaAwareUDF):
+    """A k-means-style centroid update emitting only replacements."""
+
+    name = "centroid_replace"
+    emits_polarity = frozenset({DeltaOp.REPLACE})
+
+
+class _UpdateOnlyUDF(_DeltaAwareUDF):
+    """Emits only δ value-update annotations."""
+
+    name = "delta_adjust"
+    emits_polarity = frozenset({DeltaOp.UPDATE})
+
+
+class _InsertOnlyHandler:
+    """A join delta handler declared to emit pure insertions."""
+
+    name = "offers"
+    emits_polarity = frozenset({DeltaOp.INSERT})
+
+
+def _ident(row):
+    return row
+
+
+def _sum_specs():
+    return [AggregateSpec(Sum(), arg=lambda r: r[1], output="total")]
+
+
+def polarity_monotone_fixpoint() -> PNode:
+    """PageRank-style loop: nothing in the body can retract -> REX301."""
+    recursive = PProject.over(PFeedback(), _ident)
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+def polarity_dead_delete_fixpoint() -> PNode:
+    """Same monotone loop seen from the fixpoint's delete handling: the
+    '-' branch of keyed dedup is provably unreachable -> REX304."""
+    recursive = PProject.over(PFeedback(), _ident)
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+def polarity_retracting_body() -> PNode:
+    """A relaxation that withdraws offers: the loop can shrink -> REX302."""
+    recursive = PApply(udf_factory=_RetractingRelax, arg_fn=_ident,
+                       delta_aware=True, children=(PFeedback(),))
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+def polarity_replacement_only_groupby() -> PNode:
+    """Replacement-only stream into a group-by: a '->' may arrive before
+    any base image exists -> REX305."""
+    updates = PApply(udf_factory=_ReplaceOnlyUpdate, arg_fn=_ident,
+                     delta_aware=True, children=(PScan("centroids"),))
+    return PCollect(children=(
+        PGroupBy(key_fn=_key0, specs_factory=_sum_specs,
+                 children=(PRehash.by(updates, _key0),)),))
+
+
+def polarity_update_into_keyed_fixpoint() -> PNode:
+    """δ annotations reaching a keyed fixpoint with no while handler:
+    the operator rejects them at runtime -> REX305."""
+    recursive = PApply(udf_factory=_UpdateOnlyUDF, arg_fn=_ident,
+                       delta_aware=True, children=(PFeedback(),))
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, children=(PScan("seed"), recursive)),))
+
+
+def polarity_key_destroying_project() -> LNode:
+    """Recursive-branch Project that drops the fixpoint key -> REX303."""
+    bad = LProject(_feedback(),
+                   [(ColumnRef("val"), F("val", SQLType.DOUBLE))])
+    return LFixpoint(_seed(), bad, key="node", cte_name="R")
+
+
+def polarity_insert_only_groupby() -> PNode:
+    """Scan-fed group-by is proven insert-only -> REX300 (and its
+    retraction branches are dead -> REX304)."""
+    return PCollect(children=(
+        PGroupBy(key_fn=_key0, specs_factory=_sum_specs,
+                 children=(PRehash.by(PScan("edges"), _key0),)),))
+
+
+def polarity_declared_handler_proof() -> PNode:
+    """A declared insert-only join handler propagates the proof to the
+    downstream group-by -> REX300."""
+    join = PJoin(left_key=_key0, right_key=_key0,
+                 handler_factory=_InsertOnlyHandler, handler_side=1,
+                 children=(PScan("edges"), PScan("seed")))
+    return PCollect(children=(
+        PGroupBy(key_fn=_key0, specs_factory=_sum_specs,
+                 children=(PRehash.by(join, _key0),)),))
+
+
+def polarity_undeclared_join_handler() -> PNode:
+    """A join delta handler with no emits_polarity widens to any -> REX306."""
+    join = PJoin(left_key=_key0, right_key=_key0,
+                 handler_factory=_handler_factory, handler_side=1,
+                 children=(PScan("edges"), PScan("seed")))
+    return PCollect(children=(join,))
+
+
+def polarity_undeclared_while_handler() -> PNode:
+    """A while delta handler with no emits_polarity widens to any -> REX306."""
+    return PCollect(children=(
+        PFixpoint(key_fn=_key0, while_handler_factory=_handler_factory,
+                  children=(PScan("seed"), PUnion(children=(PFeedback(),)))),))
+
+
+POLARITY_CASES: List[Case] = [
+    Case("polarity_monotone_fixpoint", polarity_monotone_fixpoint,
+         frozenset({"REX301"})),
+    Case("polarity_dead_delete_fixpoint", polarity_dead_delete_fixpoint,
+         frozenset({"REX304"})),
+    Case("polarity_retracting_body", polarity_retracting_body,
+         frozenset({"REX302"})),
+    Case("polarity_replacement_only_groupby",
+         polarity_replacement_only_groupby, frozenset({"REX305"})),
+    Case("polarity_update_into_keyed_fixpoint",
+         polarity_update_into_keyed_fixpoint, frozenset({"REX305"})),
+    Case("polarity_key_destroying_project",
+         polarity_key_destroying_project, frozenset({"REX303"})),
+    Case("polarity_insert_only_groupby", polarity_insert_only_groupby,
+         frozenset({"REX300", "REX304"})),
+    Case("polarity_declared_handler_proof",
+         polarity_declared_handler_proof, frozenset({"REX300"})),
+    Case("polarity_undeclared_join_handler",
+         polarity_undeclared_join_handler, frozenset({"REX306"})),
+    Case("polarity_undeclared_while_handler",
+         polarity_undeclared_while_handler, frozenset({"REX306"})),
+]
 
 
 # ---------------------------------------------------------------------------

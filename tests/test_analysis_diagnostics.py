@@ -77,6 +77,29 @@ class TestReport:
         ordered = self._report().sorted()
         assert [d.code for d in ordered][0] == "REX001"
 
+    def test_identical_triples_deduplicated(self):
+        r = self._report()
+        r.add(make("REX006", "warn one"))          # exact duplicate
+        r.extend([make("REX006", "warn one")])     # via extend too
+        assert len(r) == 3
+        r.add(make("REX006", "warn one", location="Scan"))  # new location
+        assert len(r) == 4
+
+    def test_dedup_keeps_first_severity_and_hint(self):
+        from repro.analysis.diagnostics import Severity
+
+        r = DiagnosticReport()
+        r.add(make("REX005", "x", severity=Severity.INFO, hint="keep me"))
+        r.add(make("REX005", "x"))  # catalog default would be WARNING
+        (diag,) = list(r)
+        assert diag.severity is Severity.INFO
+        assert diag.hint == "keep me"
+
+    def test_sorted_is_stable_within_severity(self):
+        r = self._report()
+        ordered = r.sorted()
+        assert [d.code for d in ordered] == ["REX001", "REX006", "REX007"]
+
     def test_format_summarizes(self):
         text = self._report().format()
         assert "1 error(s)" in text and "2 warning(s)" in text

@@ -124,3 +124,69 @@ class TestObservabilityFlags:
         # query results still land on stdout, untouched
         assert sorted(captured.out.strip().splitlines()) == [
             "0\t2", "1\t1", "2\t1"]
+
+
+class TestAnalyzeAndLintFormats:
+    QUERY = "SELECT srcId, count(*) FROM graph GROUP BY srcId"
+
+    def _analyze(self, edges_csv, capsys, fmt):
+        import json as _json
+
+        rc = main(["analyze", "--table", f"graph={edges_csv}",
+                   "--key", "graph=srcId", "--format", fmt, self.QUERY])
+        assert rc == 0
+        return _json.loads(capsys.readouterr().out)
+
+    def test_analyze_json_carries_properties(self, edges_csv, capsys):
+        payload = self._analyze(edges_csv, capsys, "json")
+        props = payload["properties"]
+        assert props, "json payload must embed inferred properties"
+        for row in props:
+            assert {"path", "label", "polarity", "exact"} <= set(row)
+        polarities = {row["polarity"] for row in props}
+        assert "insert-only" in polarities
+
+    def test_analyze_sarif_shape(self, edges_csv, capsys):
+        doc = self._analyze(edges_csv, capsys, "sarif")
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert run["results"], "graph group-by yields polarity verdicts"
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            for loc in result.get("locations", []):
+                assert "physicalLocation" in loc \
+                    or loc["logicalLocations"][0]["fullyQualifiedName"]
+        # the insert-only scan feeding the group-by is a REX300 proof
+        assert any(r["ruleId"].startswith("REX3") for r in run["results"])
+
+    def test_lint_sarif_shape(self, tmp_path, capsys):
+        import json as _json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\n\ndef stamp():\n"
+                       "    return time.time()\n")
+        rc = main(["lint", "--format", "sarif", str(bad)])
+        assert rc == 1
+        doc = _json.loads(capsys.readouterr().out)
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        result = next(r for r in run["results"] if r["ruleId"] == "REX102")
+        region = result["locations"][0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == str(bad)
+        assert region["region"]["startLine"] >= 1
+
+    def test_lint_sarif_clean_run_is_valid(self, tmp_path, capsys):
+        import json as _json
+
+        ok = tmp_path / "ok.py"
+        ok.write_text("x = 1\n")
+        rc = main(["lint", "--format", "sarif", str(ok)])
+        assert rc == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
