@@ -46,6 +46,7 @@ class AdsorptionAgg(JoinDeltaHandler):
     """
 
     name = "AdsorptionAgg"
+    reads = (0, 1, 2)  # unpacks the full (v, label, weight) row
 
     def __init__(self, tol: float = 0.01):
         super().__init__()

@@ -57,6 +57,7 @@ class KMAgg(JoinDeltaHandler):
     in_types = ("Integer", "Double", "Double")
     out_types = ("cid:Integer", "xDiff:Double", "yDiff:Double")
     emits_polarity = frozenset({DeltaOp.UPDATE})  # δ(dx, dy, dn) adjustments
+    reads = (0, 1, 2)  # unpacks the full (cid, cx, cy) centroid row
 
     def __init__(self):
         super().__init__()

@@ -58,6 +58,7 @@ class PRAgg(JoinDeltaHandler):
     in_types = ("Integer", "Double")
     out_types = ("nbr:Integer", "prdiff:Double")
     emits_polarity = frozenset({DeltaOp.UPDATE})  # δ(diff) adjustments only
+    reads = (0, 1)  # (page, pr); the edge bucket carries the neighbours
 
     def __init__(self, tol: float = 0.01):
         super().__init__()
@@ -127,6 +128,7 @@ class PRFixpointHandler(WhileDeltaHandler):
 
     name = "PRFixpointHandler"
     emits_polarity = frozenset({DeltaOp.INSERT, DeltaOp.REPLACE})
+    reads = (0, 1)  # (page, pr); the whole row is stored as the new state
 
     def __init__(self, tol: float = 0.01):
         super().__init__()

@@ -54,6 +54,7 @@ class SPAgg(JoinDeltaHandler):
     out_types = ("nbr:Integer", "parent:Integer", "distOut:Double")
     replay_idempotent = True  # keeps only the min distance; replay is a no-op
     emits_polarity = frozenset({DeltaOp.INSERT})  # offers are pure insertions
+    reads = (0, 1, 2)  # unpacks the full (v, parent, dist) row
 
     def update(self, left_bucket, right_bucket, delta, side):
         v, parent, dist = delta.row
@@ -77,6 +78,7 @@ class MonotoneMinDist(WhileDeltaHandler):
     name = "MonotoneMinDist"
     replay_idempotent = True  # admits strict improvements only
     emits_polarity = frozenset({DeltaOp.INSERT})  # strict improvements only
+    reads = (0, 1, 2)  # stores the whole (v, parent, dist) row
 
     def update(self, while_relation, delta):
         key = (delta.row[0],)

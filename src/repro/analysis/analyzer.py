@@ -18,6 +18,7 @@ from typing import Union
 
 from repro.analysis.absint import check_polarity
 from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.analysis.lineage import check_lineage
 from repro.analysis.physical import PHYSICAL_PASSES
 from repro.analysis.rules import LOGICAL_PASSES, check_partitioning
 from repro.optimizer.logical import LNode
@@ -33,6 +34,7 @@ def analyze_logical(root: LNode, *,
     missing = Severity.ERROR if exchanges_placed else Severity.INFO
     check_partitioning(root, report.add, missing_severity=missing)
     check_polarity(root, report.add)
+    check_lineage(root, report.add)
     return report
 
 
@@ -43,6 +45,7 @@ def analyze_physical(plan: Union[PhysicalPlan, PNode]) -> DiagnosticReport:
     for rule in PHYSICAL_PASSES:
         rule(root, report.add)
     check_polarity(root, report.add)
+    check_lineage(root, report.add)
     return report
 
 

@@ -39,7 +39,8 @@ class Severity(enum.Enum):
 #: ``REX0xx`` are plan-analyzer codes, ``REX1xx`` are lint codes,
 #: ``REX2xx`` are runtime sanitizer / determinism-checker codes,
 #: ``REX3xx`` are abstract-interpretation (delta-polarity /
-#: monotonicity) codes.
+#: monotonicity) codes, ``REX4xx`` are column-lineage / UDF-effect
+#: codes.
 CODES: Dict[str, Tuple[Severity, str]] = {
     "REX001": (Severity.ERROR,
                "non-stratified recursion (nested fixpoint or negation "
@@ -78,6 +79,9 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "REX106": (Severity.WARNING,
                "unordered set iteration feeding cross-worker routing or "
                "emitted delta order"),
+    "REX107": (Severity.WARNING,
+               "UDF/predicate/handler body reads a row attribute outside "
+               "its declared reads= metadata"),
     "REX200": (Severity.ERROR,
                "illegal delta annotation against operator state "
                "(UPDATE/DELETE of absent rows, duplicate insert, or "
@@ -127,6 +131,32 @@ CODES: Dict[str, Tuple[Severity, str]] = {
                "runtime delta violated a static polarity/monotonicity "
                "proof (abstract interpretation was unsound for this "
                "plan — report this)"),
+    "REX400": (Severity.WARNING,
+               "dead column: a produced column is never read by any "
+               "downstream operator"),
+    "REX401": (Severity.WARNING,
+               "UDF/predicate/handler body reads a row attribute not "
+               "covered by its declared reads= metadata"),
+    "REX402": (Severity.WARNING,
+               "effect-declaration contradiction: declared reads= names "
+               "an attribute the body provably never reads"),
+    "REX403": (Severity.ERROR,
+               "key column projected away before a Rehash/GroupBy/"
+               "Fixpoint whose key function needs it"),
+    "REX404": (Severity.INFO,
+               "pushdown-blocking effect: a rewrite was declined because "
+               "an effect (impurity, unknown reads, or non-insert "
+               "polarity) could not be proven away"),
+    "REX405": (Severity.INFO,
+               "filter pushdown licensed: the predicate's read-set is "
+               "preserved below this operator"),
+    "REX406": (Severity.INFO,
+               "projection narrowing licensed: only a prefix of the "
+               "columns crossing this exchange is live downstream"),
+    "REX407": (Severity.INFO,
+               "lineage widened: an opaque callable (no retrievable "
+               "source) forced the column analysis to assume it reads "
+               "and produces everything"),
 }
 
 
@@ -271,15 +301,20 @@ def to_sarif(report: DiagnosticReport, *, tool_name: str = "repro-analyze",
     Plan-node locations have no file, so they are carried as logical
     locations (``fullyQualifiedName`` = the plan-node path); lint
     locations of the form ``file:line`` become physical locations.  The
-    rule catalog lists every code that fired, with its published title.
+    rule catalog lists the full published code set, each with its title
+    and default severity level, so SARIF consumers can surface rules
+    that did not fire on this run.
     """
-    rules: Dict[str, Dict] = {}
+    rules: Dict[str, Dict] = {
+        code: {
+            "id": code,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[severity]},
+        }
+        for code, (severity, title) in CODES.items()
+    }
     results: List[Dict] = []
     for diag in report.sorted():
-        rules.setdefault(diag.code, {
-            "id": diag.code,
-            "shortDescription": {"text": diag.title},
-        })
         result: Dict = {
             "ruleId": diag.code,
             "level": _SARIF_LEVELS[diag.severity],

@@ -29,6 +29,14 @@ states globally:
   iteration order.  Sets are the one builtin container whose iteration
   order is genuinely unspecified (dicts preserve insertion order);
   wrap the iterable in ``sorted(...)`` or carry a list.
+* **REX107** — a delta handler declaring ``reads=`` metadata whose
+  ``update`` body reads a ``delta.row``/``delta.old`` position the
+  declaration omits.  The column-lineage analyzer and the rewrite pass
+  trust ``reads=`` as an upper bound; an under-declaration would
+  license narrowing a column the handler actually needs.  Extraction
+  is conservative (only constant subscripts and tuple unpacks count as
+  reads), so the rule is escape-silent: an aliased or escaping row
+  never fires it.
 
 Suppression: append ``# noqa: REXnnn`` (or a bare ``# noqa``) to the
 offending line.  Run as ``python -m repro.analysis.lint [paths...]`` or
@@ -344,12 +352,62 @@ class _Linter(ast.NodeVisitor):
                          "inherently sequential prefix sums")
         self.generic_visit(node)
 
-    # -- REX104 ----------------------------------------------------------
+    # -- REX104 / REX107 -------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         must_freeze = self._suffix_config(_HOT_RECORD_MODULES)
         if must_freeze is not None:
             self._check_hot_record(node, bool(must_freeze))
+        self._check_reads_declaration(node)
         self.generic_visit(node)
+
+    def _check_reads_declaration(self, node: ast.ClassDef) -> None:
+        """REX107: an ``update`` body reading delta-row positions its
+        class-level ``reads=`` declaration omits."""
+        declared: Optional[Set[int]] = None
+        for stmt in node.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            if not (isinstance(target, ast.Name) and target.id == "reads"):
+                continue
+            if isinstance(value, (ast.Tuple, ast.List)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, int)
+                    for e in value.elts):
+                declared = {e.value for e in value.elts}
+        if declared is None:
+            return
+        update = next(
+            (s for s in node.body
+             if isinstance(s, ast.FunctionDef) and s.name == "update"),
+            None)
+        if update is None:
+            return
+        params = [a.arg for a in
+                  update.args.posonlyargs + update.args.args]
+        if "delta" not in params:
+            return
+        # Reuse the effect extractor's read collector on the method AST.
+        # Every collected read is a real read even when the row also
+        # escapes (escapes widen exactness, they never add positions),
+        # so firing on extracted-minus-declared is sound and the rule
+        # stays silent on opaque/escaping bodies.
+        from repro.analysis.effects import _RowReads
+        visitor = _RowReads({"delta.row", "delta.old"})
+        for stmt in update.body:
+            visitor.visit(stmt)
+        undeclared = sorted(visitor.reads - declared)
+        if undeclared:
+            self.emit(
+                "REX107",
+                f"{node.name}.update reads delta-row position"
+                f"{'s' if len(undeclared) > 1 else ''} {undeclared} "
+                f"not covered by its declared reads= metadata",
+                update,
+                hint="extend reads= to cover every position the body "
+                     "touches; the lineage analyzer and narrowing "
+                     "rewrites trust the declaration")
 
     def _check_hot_record(self, node: ast.ClassDef,
                           must_freeze: bool) -> None:

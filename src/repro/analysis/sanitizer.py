@@ -774,7 +774,7 @@ class Sanitizer:
         sampled = self._sampled
 
         def precheck(deltas, port):
-            keys = (op.left_key, op.right_key)[port]
+            keys = op.keys[port]
             for d in deltas:
                 if d.op is DeltaOp.INSERT:
                     continue

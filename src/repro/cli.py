@@ -418,9 +418,11 @@ def _read_query(query: str) -> str:
 def main_analyze(argv: List[str]) -> int:
     from repro.analysis.absint import properties_report
     from repro.analysis.diagnostics import to_sarif
+    from repro.analysis.lineage import lineage_report
     from repro.optimizer.exchanges import add_exchanges
     from repro.optimizer.fusion import fusion_report
     from repro.optimizer.physical import lower
+    from repro.optimizer.rewrite import rewrite_report
 
     args = build_analyze_parser().parse_args(argv)
     cluster = _build_cluster(args)
@@ -440,6 +442,10 @@ def main_analyze(argv: List[str]) -> int:
         physical_root = lower(node).root
         fusion = fusion_report(physical_root)
         properties = properties_report(physical_root)
+        table_arity = {name: len(cluster.catalog.get(name).schema.fields)
+                       for name in cluster.catalog.names()}
+        lineage = lineage_report(physical_root, table_arity=table_arity)
+        rewrites = rewrite_report(physical_root, table_arity=table_arity)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -447,6 +453,8 @@ def main_analyze(argv: List[str]) -> int:
         payload = json.loads(report.to_json())
         payload["fusion"] = fusion
         payload["properties"] = properties
+        payload["lineage"] = lineage
+        payload["rewrites"] = rewrites
         print(json.dumps(payload, indent=2))
     elif args.format == "sarif":
         print(to_sarif(report, tool_name="repro-analyze"))
@@ -465,6 +473,21 @@ def main_analyze(argv: List[str]) -> int:
                 if "dead_kinds" in p:
                     notes.append("dead={" + ",".join(p["dead_kinds"]) + "}")
                 print(f"  {p['path']}: " + " ".join(notes))
+        if lineage:
+            print()
+            print("column lineage (physical plan)")
+            for n in lineage:
+                live = ("all?" if not n["live_exact"]
+                        else "{" + ",".join(map(str, n["live"])) + "}")
+                width = f"/{n['out_arity']}" if "out_arity" in n else ""
+                print(f"  {n['path']}: live={live}{width}")
+        if rewrites:
+            print()
+            print("rewrite decisions (physical plan)")
+            for d in rewrites:
+                verdict = "applied" if d["applied"] else "declined"
+                print(f"  {d['path']}: {d['kind']} {verdict} — "
+                      f"{d['reason']}")
         if fusion:
             print()
             print("fusion decisions (physical plan)")
@@ -568,17 +591,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dump(chrome_trace(obs.tracer.events()), fh)
         if args.analyze:
             from repro.analysis.absint import properties_report
+            from repro.analysis.lineage import lineage_report
             try:
                 diagnostics = session.analyze(query)
                 properties = properties_report(
                     session.logical_plan(query))
+                lineage = lineage_report(session.logical_plan(query))
             except ReproError:
                 diagnostics = None
                 properties = None
+                lineage = None
             print(file=sys.stderr)
             print(explain_analyze(obs, result.metrics,
                                   diagnostics=diagnostics,
-                                  properties=properties), file=sys.stderr)
+                                  properties=properties,
+                                  lineage=lineage), file=sys.stderr)
     sanitizer = result.sanitizer
     if sanitizer is not None:
         print(f"-- sanitizer ({sanitizer.level}): {sanitizer.checks} "

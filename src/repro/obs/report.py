@@ -83,7 +83,8 @@ def _fmt_seconds(s: float) -> str:
 
 def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
                     top: Optional[int] = None,
-                    diagnostics=None, properties=None) -> str:
+                    diagnostics=None, properties=None,
+                    lineage=None) -> str:
     """Render the post-run report as a plain-text table pair.
 
     ``diagnostics`` is an optional
@@ -94,6 +95,10 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
     abstract interpretation (``repro.analysis.absint.properties_report``):
     per-node delta polarity, monotonicity, and dead-delta facts, rendered
     as their own column block after the cost table.
+    ``lineage`` is an optional per-edge live-column listing from the
+    column-lineage analysis (``repro.analysis.lineage.lineage_report``),
+    rendered the same way: which output positions each operator's
+    consumers actually read, and what each node's own callables read.
     """
     rows = _aggregate(obs.operator_stats(), per_node)
     attributed, unattributed = obs.attribution()
@@ -228,6 +233,32 @@ def explain_analyze(obs: ObsContext, metrics=None, per_node: bool = False,
         for r in prows:
             lines.append("  ".join(c.ljust(w)
                                    for c, w in zip(r, pwidths)).rstrip())
+
+    if lineage:
+        lines.append("")
+        lines.append("column lineage (live = read by downstream consumers)")
+        lheaders = ["operator", "live", "reads"]
+        lrows: List[List[str]] = []
+        for n in lineage:
+            if n["live_exact"]:
+                live = "{" + ",".join(map(str, n["live"])) + "}"
+            else:
+                live = "all?"
+            if "out_arity" in n:
+                live += f"/{n['out_arity']}"
+            reads = ""
+            if "reads" in n:
+                reads = "{" + ",".join(map(str, n["reads"])) + "}"
+                if not n.get("reads_exact", False):
+                    reads += "?"
+            lrows.append([n["path"], live, reads])
+        lwidths = [max(len(h), *(len(r[i]) for r in lrows)) if lrows
+                   else len(h) for i, h in enumerate(lheaders)]
+        lines.append("  ".join(h.ljust(w)
+                               for h, w in zip(lheaders, lwidths)))
+        for r in lrows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(r, lwidths)).rstrip())
 
     if diagnostics is not None and len(diagnostics):
         lines.append("")

@@ -6,7 +6,9 @@ joins the fixpoint receiver with the graph, aggregates, and loops).
 
 ``properties=True`` appends each node's inferred-properties column from
 the abstract interpretation (delta polarity, monotonicity, key
-preservation — see ``docs/analysis.md``), e.g. ``[Δ=insert-only]``.
+preservation — see ``docs/analysis.md``), e.g. ``[Δ=insert-only]``,
+plus the column-lineage analysis's per-edge live-column annotation,
+e.g. ``[live={0,1}/3]`` (columns 0-1 of 3 are read downstream).
 """
 
 from __future__ import annotations
@@ -22,18 +24,22 @@ def explain(node: LNode, estimator: Optional[CostEstimator] = None,
     """Multi-line tree rendering, optionally annotated with estimates
     and inferred delta-polarity properties."""
     props = None
+    lineage = None
     if properties:
         from repro.analysis.absint import infer
+        from repro.analysis.lineage import infer_lineage
 
         props, _ = infer(node)
+        lineage, _ = infer_lineage(node)
     lines: List[str] = []
     _render(node, lines, prefix="", is_last=True, estimator=estimator,
-            props=props)
+            props=props, lineage=lineage)
     return "\n".join(lines)
 
 
 def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
-            estimator: Optional[CostEstimator], props=None) -> None:
+            estimator: Optional[CostEstimator], props=None,
+            lineage=None) -> None:
     connector = "" if not lines else ("└─ " if is_last else "├─ ")
     annotation = ""
     if estimator is not None:
@@ -43,6 +49,10 @@ def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
         inferred = props.annotation(node)
         if inferred:
             annotation += f"  [{inferred}]"
+    if lineage is not None:
+        live = lineage.annotation(node)
+        if live:
+            annotation += f"  [{live}]"
     schema_cols = ", ".join(f.name for f in node.schema)
     lines.append(f"{prefix}{connector}{node.label()} "
                  f"({schema_cols}){annotation}")
@@ -50,4 +60,4 @@ def _render(node: LNode, lines: List[str], prefix: str, is_last: bool,
                              else ("   " if is_last else "│  "))
     for i, child in enumerate(node.children):
         _render(child, lines, child_prefix, i == len(node.children) - 1,
-                estimator, props)
+                estimator, props, lineage)

@@ -162,6 +162,19 @@ class ExecOptions:
     changes.  The sanitizer additionally downgrades shadow replay to
     cheap polarity assertions on proven operators — a violated proof is
     escalated to a hard REX307 error."""
+    rewrite: bool = True
+    """Proof-directed plan rewrites from the column-lineage analysis
+    (:mod:`repro.analysis.lineage`, REX4xx): run
+    :func:`repro.optimizer.rewrite.rewrite_plan` over the physical tree
+    at instantiation (before fusion) and apply the rewrites its facts
+    license — filter pushdown below exchanges/projections/extend-applies
+    /plain joins, and suffix-truncating projection pushdown through
+    exchanges to shrink wire bytes.  Every rewrite requires a proven
+    insert-only exact polarity on the stream it touches plus pure,
+    exactly-extracted callables, so result rows are identical on or off;
+    plans where nothing fires (all three original bench workloads) keep
+    :meth:`QueryMetrics.fingerprint` bit-identical as well.  Applied and
+    declined candidates are recorded in ``rewrite_decisions``."""
 
 
 @dataclass
@@ -235,6 +248,10 @@ class QueryExecutor:
         #: Per-chain :class:`repro.optimizer.fusion.FusionDecision` records
         #: from the fusion pass (empty when ``fuse=False`` / no chains).
         self.fusion_decisions: List = []
+        #: Per-candidate :class:`repro.optimizer.rewrite.RewriteDecision`
+        #: records from the rewrite pass (empty when ``rewrite=False`` /
+        #: no candidates).
+        self.rewrite_decisions: List = []
         # Checkpoint-replication route memo (fuse fast path): fixpoint key
         # -> tuple of replica targets, invalidated on ring-snapshot change.
         self._replica_memo: Dict = {}
@@ -270,12 +287,24 @@ class QueryExecutor:
         # rewritten tree contains fresh node objects, so exchange naming
         # and operator construction both walk the *fused* root.
         exec_root = plan.root
+        self.rewrite_decisions = []
+        if self.options.rewrite:
+            # Rewrites run before fusion so inserted projections join the
+            # stateless chains fusion collapses.  Imported lazily like
+            # fusion below.
+            from repro.optimizer.rewrite import rewrite_plan
+            table_arity = {
+                name: len(self.cluster.catalog.get(name).schema.fields)
+                for name in self.cluster.catalog.names()
+            }
+            exec_root, self.rewrite_decisions = rewrite_plan(
+                exec_root, table_arity=table_arity)
         self.fusion_decisions = []
         if self.options.fuse:
             # Imported lazily: repro.optimizer pulls in planner modules
             # that must not be import-cycled with the runtime package.
             from repro.optimizer.fusion import fuse_plan
-            exec_root, self.fusion_decisions = fuse_plan(plan.root)
+            exec_root, self.fusion_decisions = fuse_plan(exec_root)
         self._exec_root = exec_root
         # Abstract interpretation over the tree the executor builds from:
         # its per-node proofs (insert-only inputs, no-retraction loops,
@@ -851,6 +880,7 @@ class QueryExecutor:
             flight=self.options.flight,
             flight_dir=self.options.flight_dir,
             absint=self.options.absint,
+            rewrite=self.options.rewrite,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)

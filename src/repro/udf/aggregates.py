@@ -69,6 +69,11 @@ class Aggregator:
     REX306.  Aggregators that only return plain values need not declare
     anything: the group-by operator turns values into insert/replace
     deltas, and the analyzer knows that."""
+    reads: Optional[Sequence[int]] = None
+    """Column-lineage metadata (REX4xx): the positions of ``delta.row``
+    this aggregator's handlers read, or ``None`` when undeclared.  The
+    lineage analyzer cross-checks the declaration against the body
+    (REX401/REX402); the lint pass keeps it honest (REX107)."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -145,6 +150,10 @@ class JoinDeltaHandler:
     """The :class:`~repro.common.deltas.DeltaOp` kinds :meth:`update` can
     emit, or ``None`` when undeclared (analyzer widens to "any" and
     reports REX306).  See :attr:`Aggregator.emits_polarity`."""
+    reads: Optional[Sequence[int]] = None
+    """The positions of ``delta.row`` :meth:`update` reads (REX4xx
+    lineage metadata); ``None`` when undeclared.  See
+    :attr:`Aggregator.reads`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -172,6 +181,10 @@ class WhileDeltaHandler:
     admit into the next stratum, or ``None`` when undeclared (analyzer
     widens to "any" and reports REX306).  See
     :attr:`Aggregator.emits_polarity`."""
+    reads: Optional[Sequence[int]] = None
+    """The positions of ``delta.row`` :meth:`update` reads (REX4xx
+    lineage metadata); ``None`` when undeclared.  See
+    :attr:`Aggregator.reads`."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__

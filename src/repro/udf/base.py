@@ -57,6 +57,13 @@ class UDF:
     """Expected output rows per input row (for filters: pass probability)."""
     cost_hint: Optional[Callable[..., float]] = None
     """Optional big-O shape: maps argument values to relative cost units."""
+    reads: Optional[Sequence[int]] = None
+    """Column-lineage metadata (REX4xx): the positions of the row (or of
+    the first argument, for tuple-taking functions) this function reads,
+    or ``None`` when undeclared.  The lineage analyzer cross-checks the
+    declaration against the body (REX401/REX402) and the lint pass keeps
+    it honest (REX107); narrowing rewrites trust only declarations the
+    extractor confirms."""
 
     def __init__(self):
         self.name = self.name or type(self).__name__
@@ -88,7 +95,7 @@ class _FunctionUDF(UDF):
 
     def __init__(self, fn: Callable, name: str, in_types, out_types,
                  deterministic: bool, table_valued: bool,
-                 selectivity: float, cost_hint):
+                 selectivity: float, cost_hint, reads=None):
         self.name = name
         self.in_types = in_types or ()
         self.out_types = out_types or ()
@@ -96,8 +103,10 @@ class _FunctionUDF(UDF):
         self.table_valued = table_valued
         self.selectivity = selectivity
         self.cost_hint = cost_hint
+        self.reads = reads
         super().__init__()
         self._fn = fn
+        self.fn = fn
 
     def evaluate(self, *args):
         return self._fn(*args)
@@ -106,7 +115,8 @@ class _FunctionUDF(UDF):
 def udf(name: Optional[str] = None, in_types: Optional[Sequence[str]] = None,
         out_types: Optional[Sequence[str]] = None, deterministic: bool = True,
         table_valued: bool = False, selectivity: float = 1.0,
-        cost_hint: Optional[Callable[..., float]] = None):
+        cost_hint: Optional[Callable[..., float]] = None,
+        reads: Optional[Sequence[int]] = None):
     """Decorator turning a plain Python function into a registered-able UDF.
 
     >>> @udf(in_types=["Integer"], out_types=["Integer"])
@@ -115,7 +125,8 @@ def udf(name: Optional[str] = None, in_types: Optional[Sequence[str]] = None,
     """
     def wrap(fn: Callable) -> _FunctionUDF:
         return _FunctionUDF(fn, name or fn.__name__, in_types, out_types,
-                            deterministic, table_valued, selectivity, cost_hint)
+                            deterministic, table_valued, selectivity,
+                            cost_hint, reads)
     return wrap
 
 
@@ -140,6 +151,7 @@ def introspect_udf(obj: Any) -> UDF:
         table_valued=getattr(obj, "table_valued", False),
         selectivity=getattr(obj, "selectivity", 1.0),
         cost_hint=getattr(obj, "cost_hint", None),
+        reads=getattr(obj, "reads", None),
     )
 
 
@@ -161,6 +173,7 @@ class CachingUDF(UDF):
         self.table_valued = inner.table_valued
         self.selectivity = inner.selectivity
         self.cost_hint = inner.cost_hint
+        self.reads = inner.reads
         super().__init__()
         self.inner = inner
         self.max_entries = max_entries

@@ -38,6 +38,7 @@ from repro.runtime.plan import (
     PApply,
     PCollect,
     PFeedback,
+    PFilter,
     PFixpoint,
     PGroupBy,
     PJoin,
@@ -467,6 +468,157 @@ POLARITY_CASES: List[Case] = [
          polarity_undeclared_join_handler, frozenset({"REX306"})),
     Case("polarity_undeclared_while_handler",
          polarity_undeclared_while_handler, frozenset({"REX306"})),
+]
+
+
+# ---------------------------------------------------------------------------
+# Column-lineage & UDF-effect plans (REX40x): each case anchors one
+# verdict of the lineage analysis.  Like the polarity cases these are
+# mostly *observations*, not defects (REX403 is the only error), so they
+# get their own list.  All callables live at module level: the AST
+# effect extractor needs ``inspect.getsource`` to succeed, and
+# interactively-defined lambdas have no retrievable source.
+# ---------------------------------------------------------------------------
+
+def _wide3(row):
+    return (row[0], row[1], row[2])
+
+
+def _take0(row):
+    return (row[0],)
+
+
+def _key1(row):
+    return (row[1],)
+
+
+def _pos_weight(row):
+    return row[2] > 0.0
+
+
+def _noisy_pred(row):
+    print(row[0])  # noqa: T201 - impurity is the point of this case
+    return row[2] > 0.0
+
+
+class _UnderDeclaredHandler:
+    """Declares reads=(0,) but its update body also reads delta.row[1]."""
+
+    name = "under_declared"
+    reads = (0,)
+    emits_polarity = frozenset({DeltaOp.INSERT})
+
+    def update(self, state, delta, out):  # noqa: REX107 - seeded defect
+        node, val = delta.row[0], delta.row[1]
+        out.insert((node, val))
+
+
+def _first_field(row):
+    return (row[0],)
+
+
+class _OverDeclaredUDF:
+    """Declares reads=(0, 1, 2) but its body provably reads only row[0]."""
+
+    name = "over_declared"
+    table_valued = False
+    reads = (0, 1, 2)
+    fn = staticmethod(_first_field)
+
+    def __call__(self, row):
+        return self.fn(row)
+
+
+def lineage_dead_project_column() -> PNode:
+    """A 3-column Project whose consumer reads only column 0 -> REX400."""
+    wide = PProject.over(PScan("edges"), _wide3)
+    return PCollect(children=(PProject.over(wide, _take0),))
+
+
+def lineage_undeclared_handler_read() -> PNode:
+    """A handler body reading past its reads= declaration -> REX401."""
+    join = PJoin(left_key=_key0, right_key=_key0,
+                 handler_factory=_UnderDeclaredHandler, handler_side=1,
+                 children=(PScan("edges"), PScan("seed")))
+    return PCollect(children=(join,))
+
+
+def lineage_overdeclared_udf() -> PNode:
+    """A reads= declaration naming positions the body never touches
+    (extraction is exact, so the surplus is provable) -> REX402."""
+    apply = PApply(udf_factory=_OverDeclaredUDF, arg_fn=_ident,
+                   children=(PScan("edges"),))
+    return PCollect(children=(apply,))
+
+
+def lineage_key_beyond_arity() -> PNode:
+    """A rehash key reading position 1 of a 1-column stream: the key
+    column was projected away upstream -> REX403 (the one REX40x error)."""
+    narrow = PProject.over(PScan("edges"), _take0)
+    return PCollect(children=(PRehash.by(narrow, _key1),))
+
+
+def lineage_blocked_pushdown_impure() -> PNode:
+    """A filter above an exchange whose predicate calls outside the pure
+    whitelist: pushdown must be declined -> REX404."""
+    ex = PRehash.by(PScan("edges"), _key0)
+    return PCollect(children=(PFilter.over(ex, _noisy_pred),))
+
+
+def lineage_blocked_narrowing_polarity() -> PNode:
+    """A narrow consumer above an exchange carrying δ updates: key-only
+    delta rows forbid truncation, narrowing is declined -> REX404."""
+    updates = PApply(udf_factory=_UpdateOnlyUDF, arg_fn=_ident,
+                     delta_aware=True, children=(PScan("centroids"),))
+    wide = PProject.over(updates, _wide3)
+    ex = PRehash.by(wide, _key0)
+    return PCollect(children=(PProject.over(ex, _take0),))
+
+
+def lineage_pushdown_license() -> PNode:
+    """A pure exactly-read predicate above an insert-only exchange:
+    pushdown is licensed -> REX405."""
+    ex = PRehash.by(PScan("edges"), _key0)
+    return PCollect(children=(PFilter.over(ex, _pos_weight),))
+
+
+def lineage_narrowable_exchange() -> PNode:
+    """Only column 0 of 3 crossing the exchange is live and the stream
+    is insert-only: narrowing is licensed -> REX406 (and the dead wide
+    columns surface as REX400)."""
+    wide = PProject.over(PScan("edges"), _wide3)
+    ex = PRehash.by(wide, _key0)
+    return PCollect(children=(PProject.over(ex, _take0),))
+
+
+def lineage_opaque_key() -> PNode:
+    """A key function with no retrievable source (operator.itemgetter)
+    widens the analysis -> REX407."""
+    import operator
+    return PCollect(children=(
+        PRehash.by(PScan("edges"), operator.itemgetter(0)),))
+
+
+LINEAGE_CASES: List[Case] = [
+    Case("lineage_dead_project_column", lineage_dead_project_column,
+         frozenset({"REX400"})),
+    Case("lineage_undeclared_handler_read", lineage_undeclared_handler_read,
+         frozenset({"REX401"})),
+    Case("lineage_overdeclared_udf", lineage_overdeclared_udf,
+         frozenset({"REX402"})),
+    Case("lineage_key_beyond_arity", lineage_key_beyond_arity,
+         frozenset({"REX403"})),
+    Case("lineage_blocked_pushdown_impure", lineage_blocked_pushdown_impure,
+         frozenset({"REX404"})),
+    Case("lineage_blocked_narrowing_polarity",
+         lineage_blocked_narrowing_polarity,
+         frozenset({"REX400", "REX404"})),
+    Case("lineage_pushdown_license", lineage_pushdown_license,
+         frozenset({"REX405"})),
+    Case("lineage_narrowable_exchange", lineage_narrowable_exchange,
+         frozenset({"REX400", "REX406"})),
+    Case("lineage_opaque_key", lineage_opaque_key,
+         frozenset({"REX407"})),
 ]
 
 

@@ -5,7 +5,12 @@ import pytest
 
 from repro.analysis import analyze
 
-from tests.analysis_corpus import BAD_CASES, GOOD_CASES, POLARITY_CASES
+from tests.analysis_corpus import (
+    BAD_CASES,
+    GOOD_CASES,
+    LINEAGE_CASES,
+    POLARITY_CASES,
+)
 
 
 @pytest.mark.parametrize("case", BAD_CASES, ids=lambda c: c.name)
@@ -66,6 +71,37 @@ def test_every_polarity_code_has_a_case():
     polarity_codes = {c for c in CODES
                       if c.startswith("REX3")} - {"REX307"}
     assert polarity_codes <= covered, polarity_codes - covered
+
+
+@pytest.mark.parametrize("case", LINEAGE_CASES, ids=lambda c: c.name)
+def test_lineage_verdict_reported(case):
+    report = analyze(case.plan())
+    found = set(report.codes())
+    missing = case.expected - found
+    assert not missing, (
+        f"{case.name}: expected codes {sorted(case.expected)}, analyzer "
+        f"reported {sorted(found)}:\n{report.format()}")
+
+
+@pytest.mark.parametrize("case", LINEAGE_CASES, ids=lambda c: c.name)
+def test_lineage_diagnostics_carry_location(case):
+    report = analyze(case.plan())
+    for code in case.expected:
+        diags = report.by_code(code)
+        assert diags, f"{case.name}: no {code} diagnostics"
+        for diag in diags:
+            assert diag.location, f"{case.name}: {code} without a location"
+            assert diag.message
+
+
+def test_every_lineage_code_has_a_case():
+    """Each REX40x verdict is anchored by at least one corpus case."""
+    covered = set()
+    for case in LINEAGE_CASES:
+        covered |= case.expected
+    from repro.analysis.diagnostics import CODES
+    lineage_codes = {c for c in CODES if c.startswith("REX4")}
+    assert lineage_codes <= covered, lineage_codes - covered
 
 
 def test_every_plan_code_has_a_bad_case():

@@ -26,10 +26,13 @@ class TestCatalog:
             "REX005", "REX006", "REX007", "REX008"}
         assert {c for c in CODES if c.startswith("REX1")} == {
             "REX100", "REX101", "REX102", "REX103", "REX104", "REX105",
-            "REX106"}
+            "REX106", "REX107"}
         assert {c for c in CODES if c.startswith("REX2")} == {
             "REX200", "REX201", "REX202", "REX203", "REX204",
             "REX205", "REX206"}
+        assert {c for c in CODES if c.startswith("REX4")} == {
+            "REX400", "REX401", "REX402", "REX403", "REX404",
+            "REX405", "REX406", "REX407"}
 
     def test_unknown_code_rejected(self):
         with pytest.raises(ValueError):

@@ -146,6 +146,21 @@ class TestAnalyzeAndLintFormats:
         polarities = {row["polarity"] for row in props}
         assert "insert-only" in polarities
 
+    def test_analyze_json_carries_lineage_and_rewrites(self, edges_csv,
+                                                       capsys):
+        payload = self._analyze(edges_csv, capsys, "json")
+        lineage = payload["lineage"]
+        assert lineage, "json payload must embed the column lineage"
+        for row in lineage:
+            assert {"path", "label", "live", "live_exact"} <= set(row)
+        scan = next(row for row in lineage if row["label"] == "Scan")
+        assert scan["out_arity"] == 2, (
+            "the catalog's table width must reach the lineage report")
+        assert "rewrites" in payload, (
+            "json payload must list rewrite decisions (possibly empty)")
+        for dec in payload["rewrites"]:
+            assert {"path", "kind", "applied", "reason"} <= set(dec)
+
     def test_analyze_sarif_shape(self, edges_csv, capsys):
         doc = self._analyze(edges_csv, capsys, "sarif")
         assert doc["version"] == "2.1.0"
@@ -154,6 +169,15 @@ class TestAnalyzeAndLintFormats:
         driver = run["tool"]["driver"]
         assert driver["name"] == "repro-analyze"
         rule_ids = {r["id"] for r in driver["rules"]}
+        # the REX40x lineage rules ship with full SARIF rule metadata
+        lineage_rules = [r for r in driver["rules"]
+                         if r["id"].startswith("REX4")]
+        assert {r["id"] for r in lineage_rules} == {
+            f"REX40{i}" for i in range(8)}
+        for rule in lineage_rules:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error")
         assert run["results"], "graph group-by yields polarity verdicts"
         for result in run["results"]:
             assert result["ruleId"] in rule_ids
