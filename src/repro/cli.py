@@ -31,7 +31,9 @@ post-mortem bundles.  Plain query runs refuse plans with error-level
 diagnostics unless ``--force`` is given (the bypassed report is still
 printed to stderr and attached to the trace), ``--sanitize=sample|full``
 turns on the runtime delta sanitizer (REX200-REX204, exit 1 on
-violations), ``--telemetry FILE`` exports the run's metrics registry, and
+violations), ``--columnar`` runs stateless chains on the column-major
+block backend (same simulated metrics, different physical layout),
+``--telemetry FILE`` exports the run's metrics registry, and
 ``--flight-dir DIR`` names where post-mortem bundles land.
 """
 
@@ -137,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "default off)")
     parser.add_argument("--sanitize-seed", type=int, default=0,
                         help="seed for the sanitizer's sampling (default 0)")
+    parser.add_argument("--columnar", action="store_true",
+                        help="run stateless chains on the column-major "
+                             "block backend (simulated metrics are "
+                             "bit-identical to the row path by contract)")
     parser.add_argument("--telemetry", metavar="FILE", default=None,
                         help="export the run's metrics registry: OpenMetrics"
                              " text ('-' for stdout; a .json suffix switches"
@@ -547,6 +553,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         options = ExecOptions(max_strata=args.max_strata, obs=obs,
                               sanitize=args.sanitize,
                               sanitize_seed=args.sanitize_seed,
+                              columnar=args.columnar,
                               flight_dir=args.flight_dir)
         result = session.execute(query, options, check=not args.force)
     except ReproError as exc:

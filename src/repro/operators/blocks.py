@@ -1,0 +1,217 @@
+"""Column-major delta blocks: the columnar backend's unit of data flow.
+
+``ExecOptions(columnar=True)`` switches the batch pipeline from
+``List[Delta]`` to :class:`ColumnBlock` wherever a whole-column kernel
+exists (Filter/Project/ApplyFunction, the local half of Rehash, GroupBy,
+and fused stateless chains).  A block is a struct-of-arrays view of one
+delta batch:
+
+* ``rows`` — the authoritative row images (tuples, row-major order is
+  preserved so fold order and message boundaries match the row path);
+* ``kind`` / ``kinds`` — the polarity vector: a single
+  :class:`~repro.common.deltas.DeltaOp` when the block is homogeneous
+  (the common case — a stratum emits runs of ``+`` or ``δ``), or a
+  per-entry list for mixed blocks;
+* ``payloads`` / ``olds`` — optional per-entry value-update payloads and
+  REPLACE old images, ``None`` when absent everywhere;
+* column arrays, materialized lazily per column index and gated by the
+  ``live`` set from the column-lineage analysis (REX4xx): a pruned
+  column never materializes.
+
+Blocks are bit-compatible with the row path: :meth:`ColumnBlock.to_deltas`
+reconstructs exactly the deltas the row pipeline would have carried, so
+any operator without a columnar kernel falls back transparently through
+the boundary adapter (``Operator.push_block``) and
+``QueryMetrics.fingerprint`` does not depend on the backend.
+"""
+
+from __future__ import annotations
+
+from itertools import compress as _compress
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.common.deltas import Delta, DeltaOp
+
+try:  # NumPy accelerates numeric column extraction when present.
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
+#: Registry of columnar kernel bodies, filled by :func:`columnar_kernel`.
+#: The REX108 lint rule walks these functions' ASTs to keep per-row
+#: idioms (``row["col"]``, ``.items()`` loops) off the columnar hot path.
+COLUMNAR_KERNELS: List[Tuple[str, Any]] = []
+
+
+def columnar_kernel(fn):
+    """Decorator registering ``fn`` as a columnar kernel body (for the
+    REX108 lint rule and the kernel table in ``docs/performance.md``)."""
+    COLUMNAR_KERNELS.append((fn.__qualname__, fn))
+    return fn
+
+
+_INSERT = DeltaOp.INSERT
+_REPLACE = DeltaOp.REPLACE
+_UPDATE = DeltaOp.UPDATE
+
+
+class ColumnBlock:
+    """One delta batch in column-major form.
+
+    ``rows`` stays authoritative (UDFs, predicates, and key extractors
+    are opaque callables over full row tuples — REX402 — so kernels
+    evaluate them against rows), while per-column arrays are derived
+    views materialized on demand and only for ``live`` columns.
+    """
+
+    __slots__ = ("rows", "kind", "kinds", "payloads", "olds", "live",
+                 "names", "_columns")
+
+    def __init__(self, rows: List[tuple],
+                 kind: Optional[DeltaOp] = None,
+                 kinds: Optional[List[DeltaOp]] = None,
+                 payloads: Optional[List[Any]] = None,
+                 olds: Optional[List[Optional[tuple]]] = None,
+                 live: Optional[frozenset] = None,
+                 names: Optional[Tuple[str, ...]] = None):
+        if (kind is None) == (kinds is None):
+            raise ValueError("exactly one of kind/kinds must be given")
+        self.rows = rows
+        self.kind = kind          # uniform polarity, or None when mixed
+        self.kinds = kinds        # per-entry polarity vector when mixed
+        self.payloads = payloads  # aligned UPDATE payloads, None if absent
+        self.olds = olds          # aligned REPLACE old images, None if absent
+        self.live = live          # materializable column indices (REX4xx)
+        self.names = names        # optional column names for keyed access
+        self._columns = None      # lazily-built {index: column list}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], kind: DeltaOp = _INSERT,
+                  live: Optional[frozenset] = None,
+                  names: Optional[Tuple[str, ...]] = None) -> "ColumnBlock":
+        """A homogeneous block of bare row images (the scan path: no
+        :class:`Delta` objects are ever constructed)."""
+        return cls(list(rows), kind=kind, live=live, names=names)
+
+    @classmethod
+    def from_deltas(cls, deltas: Sequence[Delta],
+                    live: Optional[frozenset] = None) -> "ColumnBlock":
+        """Columnarize an existing delta batch (boundary adapter into the
+        block pipeline)."""
+        rows = [d.row for d in deltas]
+        first = deltas[0].op if deltas else _INSERT
+        uniform = True
+        for d in deltas:
+            if d.op is not first:
+                uniform = False
+                break
+        payloads = olds = None
+        if uniform:
+            if first is _UPDATE:
+                payloads = [d.payload for d in deltas]
+            elif first is _REPLACE:
+                olds = [d.old for d in deltas]
+            return cls(rows, kind=first, payloads=payloads, olds=olds,
+                       live=live)
+        kinds = [d.op for d in deltas]
+        if any(d.payload is not None for d in deltas):
+            payloads = [d.payload for d in deltas]
+        if any(d.old is not None for d in deltas):
+            olds = [d.old for d in deltas]
+        return cls(rows, kinds=kinds, payloads=payloads, olds=olds, live=live)
+
+    # -- row-path boundary ----------------------------------------------
+    def to_deltas(self) -> List[Delta]:
+        """The exact delta batch the row pipeline would carry: same rows,
+        same order, same annotations.  This is the block→row boundary;
+        operators without a columnar kernel consume blocks through it."""
+        rows = self.rows
+        kind = self.kind
+        payloads = self.payloads
+        olds = self.olds
+        if kind is not None:
+            if payloads is None and olds is None:
+                return [Delta(kind, row) for row in rows]
+            if kind is _UPDATE:
+                return [Delta(kind, row, payload=p)
+                        for row, p in zip(rows, payloads)]
+            if kind is _REPLACE and olds is not None:
+                return [Delta(kind, row, old=old)
+                        for row, old in zip(rows, olds)]
+            return [Delta(kind, row) for row in rows]
+        n = len(rows)
+        payloads = payloads or [None] * n
+        olds = olds or [None] * n
+        return [Delta(op, row, old=old, payload=p)
+                for op, row, old, p in zip(self.kinds, rows, olds, payloads)]
+
+    def entries(self):
+        """Iterate ``(op, row, old, payload)`` without building deltas."""
+        rows = self.rows
+        n = len(rows)
+        kinds = self.kinds if self.kind is None else [self.kind] * n
+        payloads = self.payloads or [None] * n
+        olds = self.olds or [None] * n
+        return zip(kinds, rows, olds, payloads)
+
+    # -- column access ---------------------------------------------------
+    def column(self, index: int) -> List[Any]:
+        """Materialize column ``index`` (a plain list, cached).  Columns
+        outside the lineage ``live`` set are pruned: they never
+        materialize, and asking for one is an error — the lineage proof
+        says nothing downstream can read it."""
+        if self.live is not None and index not in self.live:
+            raise KeyError(
+                f"column {index} is pruned (live set {sorted(self.live)})")
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = {}
+        col = columns.get(index)
+        if col is None:
+            col = columns[index] = [row[index] for row in self.rows]
+        return col
+
+    def column_by_name(self, name: str) -> List[Any]:
+        if not self.names:
+            raise KeyError(f"block has no column names (wanted {name!r})")
+        return self.column(self.names.index(name))
+
+    def column_array(self, index: int):
+        """Column ``index`` as a NumPy array when NumPy is available
+        (numeric kernels), else the plain list."""
+        col = self.column(index)
+        if _np is None:
+            return col
+        return _np.asarray(col)
+
+    def materialized_columns(self) -> List[int]:
+        """Which columns have been materialized so far (tests/obs)."""
+        return sorted(self._columns) if self._columns else []
+
+    # -- kernel helpers --------------------------------------------------
+    def compress(self, mask: Sequence[Any]) -> "ColumnBlock":
+        """Mask-based selection: keep entries whose mask value is truthy
+        (the Filter kernel's output).  Derived column caches are dropped;
+        lineage and names survive."""
+        rows = list(_compress(self.rows, mask))
+        kinds = (None if self.kind is not None
+                 else list(_compress(self.kinds, mask)))
+        payloads = (None if self.payloads is None
+                    else list(_compress(self.payloads, mask)))
+        olds = (None if self.olds is None
+                else list(_compress(self.olds, mask)))
+        return ColumnBlock(rows, kind=self.kind, kinds=kinds,
+                           payloads=payloads, olds=olds, live=self.live,
+                           names=self.names)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:
+        pol = self.kind.value if self.kind is not None else "mixed"
+        return (f"<ColumnBlock n={len(self.rows)} kind={pol}"
+                f"{' pruned' if self.live is not None else ''}>")

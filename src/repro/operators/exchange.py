@@ -16,8 +16,10 @@ from typing import Callable, Dict, List, Optional
 from repro.common.deltas import Delta, DeltaOp
 from repro.common.errors import ExecutionError
 from repro.common.punctuation import Punctuation
-from repro.net.network import Message
+from repro.common.sizes import row_bytes, value_bytes
+from repro.net.network import Message, PUNCT_BYTES
 from repro.operators.base import Operator
+from repro.operators.blocks import columnar_kernel
 from repro.storage.hashing import normalize_key
 
 
@@ -35,6 +37,8 @@ class RehashSender(Operator):
     #: with a small cap.
     memo_cap: int = 131072
 
+    accepts_blocks = True
+
     def __init__(self, exchange: str,
                  key_fn: Optional[Callable[[tuple], tuple]] = None,
                  batch_size: int = 256, broadcast: bool = False,
@@ -47,13 +51,22 @@ class RehashSender(Operator):
         self.batch_size = batch_size
         self.broadcast = broadcast
         self._buffers: Dict[int, List[Delta]] = {}
-        # row -> destination memo, invalidated when the snapshot's live
-        # set changes (node failure re-routes ranges mid-query).  A second
-        # key -> destination level backs it: streams of mostly-distinct
-        # rows over few keys (SSSP's distance offers) miss the row level
-        # but skip the ring hash via the key level.
-        self._dst_cache: Dict[tuple, int] = {}
+        # Running wire size of each buffer (the exact per-delta terms of
+        # Message.size_bytes, accumulated at append time): _flush ships
+        # it precomputed via int Message.meta, so the network never
+        # re-walks a payload this sender already walked.
+        self._buf_bytes: Dict[int, int] = {}
+        # row -> (destination, wire base bytes) memo, invalidated when
+        # the snapshot's live set changes (node failure re-routes ranges
+        # mid-query).  The base is ``1 + row_bytes(row)`` — the delta's
+        # wire contribution before old/payload extras — cached next to
+        # the destination because both are pure functions of the row.  A
+        # second key -> destination level backs it: streams of
+        # mostly-distinct rows over few keys (SSSP's distance offers)
+        # miss the row level but skip the ring hash via the key level.
+        self._dst_cache: Dict[tuple, tuple] = {}
         self._key_dst_cache: Dict[tuple, int] = {}
+        self.block_batches = 0
         self._dst_version = -1
         # Memo accounting, surfaced by repro.obs as memo.rehash.* counters.
         # Only exceptional branches touch these per-delta (misses, cap
@@ -73,10 +86,26 @@ class RehashSender(Operator):
         key = normalize_key(self.key_fn(row))
         return [self.ctx.snapshot.primary(key)]
 
+    @staticmethod
+    def _wire_bytes(delta: Delta) -> int:
+        """This delta's exact contribution to ``Message.size_bytes`` —
+        the accumulation term behind the precomputed-meta fast path."""
+        nbytes = 1 + row_bytes(delta.row)
+        old = delta.old
+        if old is not None:
+            nbytes += row_bytes(old)
+        payload = delta.payload
+        if payload is not None:
+            nbytes += (8 if payload.__class__ is float
+                       else value_bytes(payload))
+        return nbytes
+
     def _route(self, delta: Delta) -> None:
         # Hot loop: bind lookups to locals (satellite of the batch PR).
         buffers = self._buffers
+        buf_bytes = self._buf_bytes
         batch_size = self.batch_size
+        nbytes = self._wire_bytes(delta)
         if self.broadcast:
             destinations = self.ctx.snapshot.live_nodes()
         else:
@@ -87,6 +116,7 @@ class RehashSender(Operator):
             if buf is None:
                 buf = buffers[dst] = []
             buf.append(delta)
+            buf_bytes[dst] = buf_bytes.get(dst, 0) + nbytes
             if len(buf) >= batch_size:
                 self._flush(dst)
 
@@ -110,17 +140,21 @@ class RehashSender(Operator):
         ctx = self.ctx
         ctx.charge_tuple_batch(len(deltas), self.per_tuple_cost)
         buffers = self._buffers
+        buf_bytes = self._buf_bytes
         batch_size = self.batch_size
         flush = self._flush
         snapshot = ctx.snapshot
         if self.broadcast:
             live = snapshot.live_nodes()
+            wire_bytes = self._wire_bytes
             for delta in deltas:
+                nbytes = wire_bytes(delta)
                 for dst in live:
                     buf = buffers.get(dst)
                     if buf is None:
                         buf = buffers[dst] = []
                     buf.append(delta)
+                    buf_bytes[dst] = buf_bytes.get(dst, 0) + nbytes
                     if len(buf) >= batch_size:
                         flush(dst)
             return
@@ -128,6 +162,8 @@ class RehashSender(Operator):
         normalize = normalize_key
         primary = snapshot.primary
         replace = DeltaOp.REPLACE
+        size_row = row_bytes
+        size_value = value_bytes
         if self._dst_version != snapshot.version:
             if self._dst_cache:
                 # Snapshot change (failure re-routing) invalidates every
@@ -137,32 +173,35 @@ class RehashSender(Operator):
             self._key_dst_cache.clear()
             self._dst_version = snapshot.version
         # The memo is keyed by the *row*, not the extracted key: equal rows
-        # extract equal keys (key functions are pure), so a hit skips both
-        # the key_fn call and the ring lookup.
+        # extract equal keys (key functions are pure), so a hit skips the
+        # key_fn call, the ring lookup, and the row's wire-size terms.
         dst_for_row = self._dst_cache
         dst_for_key = self._key_dst_cache
         memo_cap = self.memo_cap
         misses = splits = 0
         for delta in deltas:
             row = delta.row
+            extra = 0
             if delta.op is replace:
-                if key_fn(delta.old) != key_fn(row):
+                old = delta.old
+                if key_fn(old) != key_fn(row):
                     # Split replacement: two partitions; route each half
                     # exactly as the per-tuple path would.
                     splits += 1
-                    self._route(Delta(DeltaOp.DELETE, delta.old))
+                    self._route(Delta(DeltaOp.DELETE, old))
                     self._route(Delta(DeltaOp.INSERT, row))
                     continue
+                extra = size_row(old)
             # get() instead of [] + KeyError: mostly-distinct row streams
             # (SSSP offers) miss the row level on nearly every delta, and
             # a raised exception costs far more than a None test.
             try:
-                dst = dst_for_row.get(row)
+                memo = dst_for_row.get(row)
             except TypeError:
                 misses += 1  # unhashable row: uncacheable lookup
-                dst = primary(normalize(key_fn(row)))
+                memo = (primary(normalize(key_fn(row))), 1 + size_row(row))
             else:
-                if dst is None:
+                if memo is None:
                     misses += 1
                     key = key_fn(row)
                     dst = dst_for_key.get(key)
@@ -174,23 +213,114 @@ class RehashSender(Operator):
                     if len(dst_for_row) >= memo_cap:
                         self.memo_evictions += len(dst_for_row)
                         dst_for_row.clear()
-                    dst_for_row[row] = dst
+                    memo = dst_for_row[row] = (dst, 1 + size_row(row))
+            dst, nbytes = memo
+            payload = delta.payload
+            if payload is not None:
+                nbytes += (8 if payload.__class__ is float
+                           else size_value(payload))
             try:
                 buf = buffers[dst]
             except KeyError:
                 buf = buffers[dst] = []
             buf.append(delta)
+            buf_bytes[dst] = buf_bytes.get(dst, 0) + nbytes + extra
             if len(buf) >= batch_size:
                 flush(dst)
         self.memo_misses += misses
         self.memo_hits += len(deltas) - splits - misses
 
+    @columnar_kernel
+    def push_block(self, block, port: int = 0) -> None:
+        """Columnar kernel for the exchange's local half: routes the
+        block's row vector through the destination memo and materializes
+        wire deltas straight into the per-destination send buffers (the
+        wire format is row deltas, so this is the natural block→row
+        boundary).  Broadcast, mixed-polarity, and REPLACE blocks take
+        the row fallback — the key-straddle split needs per-delta
+        treatment — with identical routing, message boundaries, and
+        charges either way."""
+        if not block:
+            return
+        kind = block.kind
+        if self.broadcast or kind is None or kind is DeltaOp.REPLACE:
+            deltas = block.to_deltas()
+            if deltas:
+                # Class-level call: the row entry point charges the batch
+                # itself, and any obs wrapper already counted this block.
+                type(self).push_batch(self, deltas, port)
+            return
+        self.block_batches += 1
+        ctx = self.ctx
+        n = len(block)
+        ctx.charge_tuple_batch(n, self.per_tuple_cost)
+        buffers = self._buffers
+        buf_bytes = self._buf_bytes
+        batch_size = self.batch_size
+        flush = self._flush
+        snapshot = ctx.snapshot
+        key_fn = self.key_fn
+        normalize = normalize_key
+        primary = snapshot.primary
+        size_row = row_bytes
+        size_value = value_bytes
+        if self._dst_version != snapshot.version:
+            if self._dst_cache:
+                self.memo_evictions += len(self._dst_cache)
+            self._dst_cache.clear()
+            self._key_dst_cache.clear()
+            self._dst_version = snapshot.version
+        dst_for_row = self._dst_cache
+        dst_for_key = self._key_dst_cache
+        memo_cap = self.memo_cap
+        misses = 0
+        payloads = block.payloads or ((None,) * n)
+        for row, payload in zip(block.rows, payloads):
+            try:
+                memo = dst_for_row.get(row)
+            except TypeError:
+                misses += 1
+                memo = (primary(normalize(key_fn(row))), 1 + size_row(row))
+            else:
+                if memo is None:
+                    misses += 1
+                    key = key_fn(row)
+                    dst = dst_for_key.get(key)
+                    if dst is None:
+                        dst = primary(normalize(key))
+                        if len(dst_for_key) >= memo_cap:
+                            dst_for_key.clear()
+                        dst_for_key[key] = dst
+                    if len(dst_for_row) >= memo_cap:
+                        self.memo_evictions += len(dst_for_row)
+                        dst_for_row.clear()
+                    memo = dst_for_row[row] = (dst, 1 + size_row(row))
+            dst, nbytes = memo
+            if payload is not None:
+                nbytes += (8 if payload.__class__ is float
+                           else size_value(payload))
+                delta = Delta(kind, row, payload=payload)
+            else:
+                delta = Delta(kind, row)
+            try:
+                buf = buffers[dst]
+            except KeyError:
+                buf = buffers[dst] = []
+            buf.append(delta)
+            buf_bytes[dst] = buf_bytes.get(dst, 0) + nbytes
+            if len(buf) >= batch_size:
+                flush(dst)
+        self.memo_misses += misses
+        self.memo_hits += n - misses
+
     def _flush(self, dst: int) -> None:
         batch = self._buffers.pop(dst, None)
+        nbytes = self._buf_bytes.pop(dst, 0)
         if batch:
             self.ctx.cluster.network.send(Message(
                 src=self.ctx.node_id, dst=dst,
                 exchange=self.exchange, deltas=batch,
+                meta=nbytes + PUNCT_BYTES,
             ))
 
     def on_punctuation(self, punct: Punctuation, port: int = 0) -> None:

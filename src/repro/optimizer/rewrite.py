@@ -40,9 +40,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.absint import INSERT_ONLY, infer as infer_polarity
 from repro.analysis.lineage import infer_lineage
+from repro.common.deltas import DeltaOp
 from repro.runtime.plan import (
     PApply,
+    PCollect,
     PFilter,
+    PFixpoint,
     PJoin,
     PNode,
     PProject,
@@ -52,6 +55,53 @@ from repro.runtime.plan import (
 #: Upper bound on pushdown sweeps: each sweep moves a filter at most one
 #: level, so this bounds how deep a filter can sink.
 MAX_SWEEPS = 8
+
+
+def _no_candidates(root: PNode) -> bool:
+    """True when a constant-time structural scan proves no rewrite can
+    *apply* to ``root`` — the executor then skips lineage/polarity
+    inference entirely, so a no-op rewrite pass costs nothing.
+
+    The proof obligations mirror the legality gates below:
+
+    * Filter pushdown needs a :class:`PFilter`; a plan without one has
+      no pushdown candidate at all.
+    * Exchange narrowing needs a non-broadcast single-child
+      :class:`PRehash` whose downstream demand is a strict column
+      prefix and whose input is proven insert-only.  A rehash feeding a
+      :class:`PFixpoint` or :class:`PCollect` directly is demanded at
+      full width (results keep every column), and a rehash draining a
+      handler join whose handler declares a non-insert
+      ``emits_polarity`` can never prove the insert-only gate — both
+      are structurally dead candidates.
+
+    Skipping is always sound: rewrites are optional optimizations and
+    the tree is returned untouched.  Only the decline *records* for the
+    structurally dead candidates are elided; :func:`rewrite_report`
+    (the analyzer/CLI path) still runs the thorough pass.
+    """
+    stack = [(root, None)]
+    while stack:
+        node, parent = stack.pop()
+        for child in node.children:
+            stack.append((child, node))
+        if isinstance(node, PFilter):
+            return False
+        if (isinstance(node, PRehash) and not node.broadcast
+                and len(node.children) == 1):
+            if isinstance(parent, (PCollect, PFixpoint)):
+                continue  # full-width demand: narrowing is moot
+            child = node.children[0]
+            if isinstance(child, PJoin) and child.handler_factory is not None:
+                try:
+                    handler = child.handler_factory()
+                except Exception:  # noqa: BLE001 - factories are user code
+                    handler = None
+                emits = getattr(handler, "emits_polarity", None)
+                if emits and not frozenset(emits) <= {DeltaOp.INSERT}:
+                    continue  # insert-only gate provably fails
+            return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -283,7 +333,8 @@ class _Rewriter:
 
 
 def rewrite_plan(root: PNode,
-                 table_arity: Optional[Dict[str, int]] = None
+                 table_arity: Optional[Dict[str, int]] = None,
+                 *, thorough: bool = False
                  ) -> Tuple[PNode, List[RewriteDecision]]:
     """Apply every licensed rewrite; returns the (possibly new) root
     plus one :class:`RewriteDecision` per candidate, applied or
@@ -293,14 +344,27 @@ def rewrite_plan(root: PNode,
     ``table_arity`` maps table names to column counts (the executor
     passes the catalog's); without it scans have unknown width and
     narrowing above them stays off.
+
+    By default the structural pre-gate (:func:`_no_candidates`) short-
+    circuits plans where no rewrite can apply — all three original
+    bench workloads, by construction of their handler polarity — before
+    any inference runs.  ``thorough=True`` (the analyzer/report path)
+    always runs the full pass so structurally dead candidates still get
+    their decline records.
     """
     decisions: List[RewriteDecision] = []
+    if not thorough and _no_candidates(root):
+        return root, decisions
+    sweep: Optional[_Rewriter] = None
     for _ in range(MAX_SWEEPS):
         sweep = _Rewriter(root, table_arity, decisions)
         root = sweep.push_filters(root)
         if not sweep.changed:
             break
-    final = _Rewriter(root, table_arity, decisions)
+    # The last sweep left the tree unchanged, so its facts still key the
+    # live node identities — reuse them instead of re-inferring.
+    final = sweep if sweep is not None and not sweep.changed \
+        else _Rewriter(root, table_arity, decisions)
     root = final.narrow_exchanges(root)
     # A candidate declined in sweep 1 is re-visited (and re-declined)
     # by every later sweep; keep the first record of each decision.
@@ -312,5 +376,6 @@ def rewrite_report(root: PNode,
                    ) -> List[dict]:
     """The rewrite decisions for ``root`` as JSON-ready dicts (what
     ``repro.cli analyze --format json`` embeds under ``"rewrites"``)."""
-    _, decisions = rewrite_plan(root, table_arity=table_arity)
+    _, decisions = rewrite_plan(root, table_arity=table_arity,
+                                thorough=True)
     return [d.to_dict() for d in decisions]

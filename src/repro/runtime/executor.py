@@ -175,6 +175,21 @@ class ExecOptions:
     plans where nothing fires (all three original bench workloads) keep
     :meth:`QueryMetrics.fingerprint` bit-identical as well.  Applied and
     declined candidates are recorded in ``rewrite_decisions``."""
+    columnar: bool = False
+    """Columnar execution backend: sources emit
+    :class:`~repro.operators.blocks.ColumnBlock` batches (column-major
+    row/polarity/payload vectors with lineage-pruned column
+    materialization) and block-capable operators — Filter, Project,
+    ApplyFunction, fused stateless chains, the local half of Rehash, and
+    GroupBy — run whole-column ``push_block`` kernels.  Stateful
+    operators without a columnar kernel (HashJoin, Fixpoint, the
+    exchange receiver) consume block traffic through the block→row
+    boundary adapter, so the row path stays the oracle:
+    :meth:`QueryMetrics.fingerprint` is bit-identical columnar on or off
+    across the fuse×absint×sanitize matrix (enforced by tests and the
+    wallclock harness); only wall clock changes.  Requires ``batch``;
+    under an attached sanitizer the row path runs regardless (its
+    delta-invariant wrappers hook ``push_batch``)."""
 
 
 @dataclass
@@ -259,6 +274,10 @@ class QueryExecutor:
         # Every fixpoint key ever checkpointed: used to detect, on
         # recovery, ranges whose replicas have all been lost.
         self._checkpointed_keys: set = set()
+        # Table name -> frozenset of live column positions (lineage
+        # pruning for columnar scans); populated in _instantiate only
+        # when the columnar fabric is armed.
+        self._scan_live: Dict[str, frozenset] = {}
 
     # ------------------------------------------------------------------
     # Plan instantiation
@@ -342,6 +361,16 @@ class QueryExecutor:
         # (Paths that need observer==None additionally check that live.)
         fuse_fabric = self.options.fuse and self.options.perturb is None
         self.cluster.network.fast_path = fuse_fabric
+        # The columnar fabric needs batch mode and no sanitizer: the
+        # sanitizer's delta-invariant wrappers hook push_batch, so block
+        # traffic would flow around them — the row oracle runs instead
+        # (identical fingerprints by construction, pinned by tests).
+        # Obs is fine: push_block is instrumented like push_batch.
+        columnar_fabric = (self.options.columnar and self.options.batch
+                           and self.sanitizer is None
+                           and self.options.perturb is None)
+        self._scan_live = self._infer_scan_live(exec_root) \
+            if columnar_fabric else {}
         for node_id in live:
             worker = self.cluster.worker(node_id)
             if obs is not None:
@@ -349,7 +378,8 @@ class QueryExecutor:
             ctx = ExecContext(worker, cluster=self.cluster,
                               snapshot=self.snapshot, hooks=self._hooks,
                               batch=self.options.batch, obs=obs,
-                              sanitizer=self.sanitizer, fuse=fuse_fabric)
+                              sanitizer=self.sanitizer, fuse=fuse_fabric,
+                              columnar=columnar_fabric)
             wp = _WorkerPlan(node_id)
             self.worker_plans[node_id] = wp
             self._build(exec_root, None, ctx, wp, len(live))
@@ -394,6 +424,40 @@ class QueryExecutor:
             return
         for child in node.children:
             self._build(child, op, ctx, wp, n_live, in_recursive)
+
+    def _infer_scan_live(self, exec_root: PNode) -> Dict[str, frozenset]:
+        """Lineage-driven column pruning map for columnar scans.
+
+        Runs the REX4xx column-lineage analysis over the tree the
+        executor builds from and keeps, per *table name*, the union of
+        the exact ``Live`` sets on its scans' output edges.  A scan
+        whose demand is inexact (a row escaped into an opaque consumer)
+        disables pruning for that table entirely — full rows are always
+        carried; the live set only gates which columns a
+        :class:`~repro.operators.blocks.ColumnBlock` will materialize.
+        Analysis failures degrade to "no pruning", never to an error.
+        """
+        try:
+            from repro.analysis.lineage import infer_lineage
+            table_arity = {
+                name: len(self.cluster.catalog.get(name).schema.fields)
+                for name in self.cluster.catalog.names()
+            }
+            facts, _ = infer_lineage(exec_root, table_arity=table_arity)
+            live: Dict[str, Optional[frozenset]] = {}
+            for node in exec_root.walk():
+                if not isinstance(node, PScan):
+                    continue
+                lin = facts.of(node)
+                if lin is None or not lin.live.exact:
+                    live[node.table] = None
+                elif live.get(node.table, frozenset()) is not None:
+                    live[node.table] = (live.get(node.table, frozenset())
+                                        | lin.live.cols)
+            return {name: cols for name, cols in live.items()
+                    if cols is not None}
+        except Exception:  # pragma: no cover - analysis must never abort
+            return {}
 
     def _make_operator(self, node: PNode, ctx: ExecContext, wp: _WorkerPlan):
         op = self._create_operator(node, ctx, wp)
@@ -454,6 +518,7 @@ class QueryExecutor:
             return Collect(exchange=self._collect_exchange)
         if isinstance(node, PScan):
             scan = TableScan(self.cluster.catalog.get(node.table))
+            scan.live_columns = self._scan_live.get(node.table)
             wp.sources.append(scan)
             return scan
         if isinstance(node, PFeedback):
@@ -881,6 +946,7 @@ class QueryExecutor:
             flight_dir=self.options.flight_dir,
             absint=self.options.absint,
             rewrite=self.options.rewrite,
+            columnar=self.options.columnar,
         )
         retry = QueryExecutor(self.cluster, fresh_options)
         result = retry.execute(plan)
